@@ -1,0 +1,71 @@
+"""Figure 5: effectiveness on Dataset 1 (recall & precision vs. k).
+
+Regenerates both panels of Fig. 5 — recall and precision of the
+k-closest heuristic for k = 1..8 under the eight condition combinations
+of Table 4 — on the synthetic FreeDB equivalent (500 CDs + 500 dirty
+duplicates at paper scale; scaled by REPRO_D1_BASE).  Also prints the
+Table 5 element inventory the sweep walks.
+
+Paper shapes asserted here:
+* exp1/2/3/5 group together with a k=1..3 rise and a 3..7 plateau,
+* precision is low at k=1 (near-collision disc ids),
+* precision collapses at k=8 (dummy track titles) while recall hits 1,
+* exp8 is constant across k (only the did survives its conditions).
+"""
+
+from __future__ import annotations
+
+from conftest import scale
+
+from repro.eval import (
+    EXPERIMENTS,
+    build_dataset1,
+    format_schema_elements_table,
+    format_sweep_table,
+    run_heuristic_sweep,
+)
+from repro.core import KClosestDescendants
+
+
+def run_fig5():
+    base = scale("REPRO_D1_BASE", 250)
+    dataset = build_dataset1(base_count=base, seed=7)
+    sweep = run_heuristic_sweep(
+        dataset,
+        KClosestDescendants,
+        list(range(1, 9)),
+        "k",
+        EXPERIMENTS,
+    )
+    return dataset, sweep
+
+
+def test_fig5_dataset1(benchmark, report):
+    dataset, sweep = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    schema = dataset.sources[0].resolved_schema()
+    report(
+        "Table 5: elements in Dataset 1 object descriptions",
+        format_schema_elements_table(schema, "/freedb/disc"),
+    )
+    report(
+        f"Figure 5 (recall): {dataset.description}",
+        format_sweep_table(sweep, "recall", "recall vs. k for exp1-exp8"),
+    )
+    report(
+        f"Figure 5 (precision): {dataset.description}",
+        format_sweep_table(sweep, "precision", "precision vs. k for exp1-exp8"),
+    )
+
+    # Shape assertions (the paper's qualitative claims).
+    assert sweep.precision("exp1", 1) < 0.5, "did near-collisions"
+    assert sweep.precision("exp1", 6) > sweep.precision("exp1", 1)
+    assert sweep.precision("exp1", 8) < sweep.precision("exp1", 7) / 2
+    assert sweep.recall("exp1", 8) >= 0.99  # track titles find ~all duplicates
+    exp8_points = {
+        (sweep.recall("exp8", k), sweep.precision("exp8", k))
+        for k in range(1, 9)
+    }
+    assert len(exp8_points) == 1, "exp8 selects only the did for every k"
+    # exp1 and exp2 group (all string values in Dataset 1 descriptions)
+    for k in range(1, 5):
+        assert abs(sweep.recall("exp1", k) - sweep.recall("exp2", k)) < 0.15

@@ -1,0 +1,43 @@
+"""Figure 7: precision vs. duplicate threshold on Dataset 3.
+
+Regenerates Fig. 7: one detection run (exp1, h_kd k=6) over a large
+FreeDB extract, then precision as θ_cand rises from 0.55 to 1.0.  The
+paper reports 252 pairs at 0.55 (27 exact) and 100% precision from
+θ_cand = 0.85; the synthetic corpus reproduces the monotone climb to a
+perfect-precision plateau and the survival of exact re-submissions.
+
+Paper scale is 10,000 CDs; default here is REPRO_D3_COUNT = 2000.
+"""
+
+from __future__ import annotations
+
+from conftest import scale
+
+from repro.eval import format_threshold_table, run_dataset3_threshold_sweep
+
+THRESHOLDS = tuple(round(0.55 + 0.05 * step, 2) for step in range(10))
+
+
+def run_fig7():
+    count = scale("REPRO_D3_COUNT", 2000)
+    return run_dataset3_threshold_sweep(
+        count=count, seed=11, thresholds=THRESHOLDS, k=6
+    )
+
+
+def test_fig7_dataset3(benchmark, report):
+    sweep = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    report(
+        "Figure 7: precision vs. θ_cand on Dataset 3 (exp1, k=6)",
+        format_threshold_table(sweep),
+    )
+
+    # Monotone climb to a perfect-precision plateau.
+    assert sweep.precision[1.0] == 1.0 or sweep.pairs_found[1.0] == 0
+    assert sweep.precision[0.85] >= sweep.precision[0.55]
+    assert sweep.precision[0.95] == 1.0
+    # Pairs found shrink monotonically with the threshold.
+    found = [sweep.pairs_found[t] for t in THRESHOLDS]
+    assert sorted(found, reverse=True) == found
+    # Exact re-submissions (sim = 1) survive every threshold below 1.
+    assert sweep.exact_pairs_found[0.95] >= 20

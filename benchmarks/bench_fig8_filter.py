@@ -1,0 +1,40 @@
+"""Figure 8: object-filter effectiveness vs. duplicate percentage.
+
+Regenerates Fig. 8: the f(OD_i) filter's recall and precision (paper
+metrics: correctly-pruned over non-duplicates, correctly-pruned over
+pruned) as the share of duplicated CDs sweeps from 0% to 90%.
+
+The paper reports both staying above ~70%; the synthetic corpus keeps
+recall in the 60-75% band (the un-prunable residue is FreeDB's dummy
+discs, whose placeholder metadata is shared by construction) and
+precision high until duplicates dominate.
+"""
+
+from __future__ import annotations
+
+from conftest import scale
+
+from repro.eval import format_filter_table, run_filter_sweep
+
+PERCENTAGES = tuple(range(0, 100, 10))
+
+
+def run_fig8():
+    base = scale("REPRO_FILTER_BASE", 400)
+    return run_filter_sweep(base_count=base, seed=7, percentages=PERCENTAGES)
+
+
+def test_fig8_object_filter(benchmark, report):
+    sweep = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    report(
+        "Figure 8: filter recall & precision vs. duplicate percentage",
+        format_filter_table(sweep),
+    )
+
+    for percentage in PERCENTAGES:
+        metrics = sweep.metrics[percentage]
+        assert metrics.recall > 0.5, f"recall collapsed at {percentage}%"
+    for percentage in PERCENTAGES[:8]:  # precision degrades only at the extreme
+        assert sweep.metrics[percentage].precision > 0.6
+    # More duplicates -> fewer prunable singletons -> fewer prunes.
+    assert sweep.pruned[0] > sweep.pruned[90]

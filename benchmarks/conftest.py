@@ -1,0 +1,42 @@
+"""Benchmark configuration.
+
+Scales are environment-tunable so the suite finishes in minutes by
+default while the paper-scale runs remain one env var away:
+
+* ``REPRO_D1_BASE``  (default 250)   — Dataset 1 base CDs (paper: 500)
+* ``REPRO_D2_COUNT`` (default 250)   — Dataset 2 movies (paper: 500)
+* ``REPRO_D3_COUNT`` (default 2000)  — Dataset 3 CDs (paper: 10000)
+* ``REPRO_FILTER_BASE`` (default 400) — Fig. 8 base CDs (paper: 500)
+
+Every benchmark prints its paper-style table and appends it to
+``benchmarks/results/summary.txt`` so the series survive pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints a table and persists it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    summary_path = RESULTS_DIR / "summary.txt"
+
+    def _report(title: str, text: str) -> None:
+        block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n"
+        print(block)
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(block)
+
+    return _report

@@ -1,0 +1,35 @@
+"""baselines: the related-work comparators (Section 7 of the paper).
+
+* sorted-neighborhood (merge/purge, [7]/[12]) as a pair source;
+* DELPHI-style asymmetric containment ([1]);
+* vector-space tf-idf cosine ([4]);
+* Zhang–Shasha tree edit distance ([6]).
+
+All plug into the same framework pipeline as DogmatiX, so benchmark
+comparisons isolate the measure/blocking choice.
+"""
+
+from .delphi import ContainmentSimilarity, DelphiClassifier, hierarchical_prune
+from .sorted_neighborhood import SortedNeighborhood, default_key
+from .tree_edit import (
+    TreeEditClassifier,
+    TreeEditSimilarity,
+    normalized_tree_distance,
+    size_lower_bound,
+    tree_edit_distance,
+)
+from .vector_space import VectorSpaceSimilarity
+
+__all__ = [
+    "ContainmentSimilarity",
+    "DelphiClassifier",
+    "SortedNeighborhood",
+    "TreeEditClassifier",
+    "TreeEditSimilarity",
+    "VectorSpaceSimilarity",
+    "default_key",
+    "hierarchical_prune",
+    "normalized_tree_distance",
+    "size_lower_bound",
+    "tree_edit_distance",
+]

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+    python -m repro.cli dedup DOCUMENT... --mapping MAPPING.xml --type T
+    python -m repro.cli suggest DOCUMENT [--schema SCHEMA.xsd]
+    python -m repro.cli example
+
+``dedup`` runs DogmatiX over one or more XML documents and writes the
+Fig. 3 dupcluster document; ``suggest`` ranks candidate element types
+of a document's (inferred or given) schema; ``example`` replays the
+paper's running example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import (
+    DogmatiX,
+    DogmatixConfig,
+    KClosestDescendants,
+    RDistantAncestors,
+    RDistantDescendants,
+    Source,
+    c_and,
+    c_cm,
+    c_me,
+    c_sdt,
+    c_se,
+    h_or,
+)
+from .core.candidates_auto import suggest_candidates
+from .framework import mapping_from_xml
+from .xmlkit import infer_schema, parse_file, parse_schema_file
+
+_CONDITIONS = {"cm": c_cm, "sdt": c_sdt, "me": c_me, "se": c_se}
+
+
+def _parse_heuristic(spec: str):
+    """Parse ``kclosest:6``, ``rdistant:2``, ``ancestors:1``, and
+    ``+``-joined unions like ``rdistant:1+ancestors:1``."""
+    parts = spec.split("+")
+    heuristics = []
+    for part in parts:
+        name, _, raw = part.partition(":")
+        if not raw or not raw.isdigit():
+            raise argparse.ArgumentTypeError(
+                f"heuristic {part!r} must look like name:number"
+            )
+        value = int(raw)
+        if name in ("kclosest", "k"):
+            heuristics.append(KClosestDescendants(value))
+        elif name in ("rdistant", "r"):
+            heuristics.append(RDistantDescendants(value))
+        elif name in ("ancestors", "a"):
+            heuristics.append(RDistantAncestors(value))
+        else:
+            raise argparse.ArgumentTypeError(f"unknown heuristic {name!r}")
+    combined = heuristics[0]
+    for heuristic in heuristics[1:]:
+        combined = h_or(combined, heuristic)
+    return combined
+
+
+def _parse_condition(spec: Optional[str]):
+    if not spec:
+        return None
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    try:
+        conditions = [_CONDITIONS[name] for name in names]
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(
+            f"unknown condition {exc.args[0]!r}; choose from {sorted(_CONDITIONS)}"
+        ) from None
+    return c_and(*conditions)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DogmatiX: duplicate detection in XML (SIGMOD 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    dedup = commands.add_parser("dedup", help="detect duplicates in XML documents")
+    dedup.add_argument("documents", nargs="+", help="XML document file(s)")
+    dedup.add_argument("--mapping", required=True, help="mapping M file (XML)")
+    dedup.add_argument("--type", required=True, dest="real_world_type",
+                       help="real-world type to deduplicate")
+    dedup.add_argument("--schema", action="append", default=[],
+                       help="XSD file per document (else inferred)")
+    dedup.add_argument("--heuristic", type=_parse_heuristic,
+                       default=KClosestDescendants(6),
+                       help="kclosest:N | rdistant:N | ancestors:N, join with +")
+    dedup.add_argument("--conditions", type=_parse_condition, default=None,
+                       help="comma list of cm,sdt,me,se (ANDed)")
+    dedup.add_argument("--theta-tuple", type=float, default=0.15)
+    dedup.add_argument("--theta-cand", type=float, default=0.55)
+    dedup.add_argument("--no-filter", action="store_true",
+                       help="disable the object filter")
+    dedup.add_argument("--output", help="write dupclusters XML here (default stdout)")
+    dedup.add_argument("--explain", action="store_true",
+                       help="print a similarity breakdown per duplicate pair")
+
+    suggest = commands.add_parser(
+        "suggest", help="rank candidate element types of a document"
+    )
+    suggest.add_argument("document")
+    suggest.add_argument("--schema", help="XSD file (else inferred)")
+    suggest.add_argument("--limit", type=int, default=5)
+
+    commands.add_parser("example", help="run the paper's running example")
+    return parser
+
+
+def _command_dedup(args: argparse.Namespace) -> int:
+    schemas = [parse_schema_file(path) for path in args.schema]
+    sources = []
+    for index, path in enumerate(args.documents):
+        document = parse_file(path)
+        schema = schemas[index] if index < len(schemas) else None
+        sources.append(Source(document, schema))
+    with open(args.mapping, encoding="utf-8") as handle:
+        mapping = mapping_from_xml(handle.read())
+
+    config = DogmatixConfig(
+        heuristic=args.heuristic,
+        condition=args.conditions,
+        theta_tuple=args.theta_tuple,
+        theta_cand=args.theta_cand,
+        use_object_filter=not args.no_filter,
+    )
+    algorithm = DogmatiX(config)
+    result = algorithm.run(sources, mapping, args.real_world_type)
+    print(result.summary(), file=sys.stderr)
+
+    if args.explain and algorithm.last_similarity is not None:
+        by_id = {od.object_id: od for od in result.ods}
+        for pair in result.duplicate_pairs:
+            explanation = algorithm.last_similarity.explain(
+                by_id[pair.left], by_id[pair.right]
+            )
+            print(
+                f"# {result.object_path(pair.left)} ~ "
+                f"{result.object_path(pair.right)} "
+                f"(sim={pair.similarity:.3f})",
+                file=sys.stderr,
+            )
+            for left, right in explanation["similar_pairs"]:
+                print(f"#   similar: {left} ~ {right}", file=sys.stderr)
+            for left, right in explanation["contradictory_pairs"]:
+                print(f"#   contra:  {left} vs {right}", file=sys.stderr)
+
+    output = result.to_xml()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(output)
+    else:
+        print(output)
+    return 0
+
+
+def _command_suggest(args: argparse.Namespace) -> int:
+    document = parse_file(args.document)
+    schema = (
+        parse_schema_file(args.schema) if args.schema else infer_schema(document)
+    )
+    suggestions = suggest_candidates(schema, [document], limit=args.limit)
+    if not suggestions:
+        print("no plausible candidate element types found", file=sys.stderr)
+        return 1
+    for suggestion in suggestions:
+        flags = "repeatable" if suggestion.repeatable else "singleton"
+        print(
+            f"{suggestion.xpath:<40} score={suggestion.score:6.2f} "
+            f"{flags}, {suggestion.simple_children} describing elements"
+        )
+    return 0
+
+
+def _command_example(_: argparse.Namespace) -> int:
+    from .core import RDistantDescendants
+    from .datagen import (
+        paper_example_document,
+        paper_example_mapping,
+        paper_example_schema,
+    )
+
+    config = DogmatixConfig(
+        heuristic=RDistantDescendants(2),
+        theta_tuple=0.55,
+        theta_cand=0.55,
+        use_object_filter=False,
+    )
+    result = DogmatiX(config).run(
+        Source(paper_example_document(), paper_example_schema()),
+        paper_example_mapping(),
+        "MOVIE",
+    )
+    print(result.summary(), file=sys.stderr)
+    print(result.to_xml())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "dedup": _command_dedup,
+        "suggest": _command_suggest,
+        "example": _command_example,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Corpus index over the OD instance: occurrences and similar values.
+
+Everything quadratic in DogmatiX funnels through questions this index
+answers in (amortized) sub-quadratic time:
+
+* ``softIDF`` needs ``|O_odt|`` — how many objects contain a given
+  (comparable-kind, value) term;
+* comparison reduction needs, per OD tuple, the *similar value group*
+  within its real-world type (values with ``ned < θ_tuple``), both for
+  the shared-tuple blocking and for the object filter's
+  S_shared/S_unique split.
+
+Occurrence counting keys tuples by ``(comparison key, value)``: the
+paper's O_odt counts the ODs a term occurs in, and a "term" is a piece
+of typed information — the same value under two XPaths of the same
+real-world type (e.g. ``movie/title`` vs. ``film/title``) is one term.
+Similar-value groups are computed per comparison key with a q-gram
+index and memoized.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from ..framework import ObjectDescription, TypeMapping
+from ..strings import QGramIndex
+
+
+class CorpusIndex:
+    """Index of a full OD instance {OD_1, ..., OD_n}."""
+
+    def __init__(
+        self,
+        ods: Sequence[ObjectDescription],
+        mapping: TypeMapping,
+        theta_tuple: float,
+        q: int = 2,
+    ) -> None:
+        if not 0 <= theta_tuple <= 1:
+            raise ValueError(f"theta_tuple must be in [0, 1], got {theta_tuple}")
+        self.mapping = mapping
+        self.theta_tuple = theta_tuple
+        self.total_objects = len(ods)
+        #: (key, value) -> object ids containing that term
+        self._occurrences: dict[tuple[str, str], set[int]] = defaultdict(set)
+        #: key -> q-gram index over the distinct values of that kind
+        self._value_indexes: dict[str, QGramIndex] = {}
+        #: key -> set of object ids having any tuple of that kind
+        self._objects_by_key: dict[str, set[int]] = defaultdict(set)
+        self._q = q
+        #: (key, value) -> memoized similar value group
+        self._similar_cache: dict[tuple[str, str], list[str]] = {}
+        #: memoized softIDF values (terms repeat across the O(n²) pairs)
+        self._pair_idf_cache: dict[tuple[str, str, str, str], float] = {}
+
+        for od in ods:
+            for odt in od.tuples:
+                key = mapping.comparison_key(odt.name)
+                self._occurrences[(key, odt.value)].add(od.object_id)
+                self._objects_by_key[key].add(od.object_id)
+                index = self._value_indexes.get(key)
+                if index is None:
+                    index = self._value_indexes[key] = QGramIndex(q=q)
+                index.add(odt.value)
+
+    # ------------------------------------------------------------------
+    # Terms and occurrences
+    # ------------------------------------------------------------------
+    def key_of(self, name: str) -> str:
+        """Comparison key (real-world type or generic path) of an XPath."""
+        return self.mapping.comparison_key(name)
+
+    def occurrences(self, key: str, value: str) -> set[int]:
+        """O_odt: ids of objects containing the term (empty set if unseen)."""
+        return self._occurrences.get((key, value), set())
+
+    def objects_with_key(self, key: str) -> set[int]:
+        """Ids of objects that specify any data of this kind."""
+        return self._objects_by_key.get(key, set())
+
+    def pair_idf(self, key_i: str, value_i: str, key_j: str, value_j: str) -> float:
+        """Memoized softIDF of a term pair (Definition 8).
+
+        log(|Ω| / |O_i ∪ O_j|); unseen terms count as one occurrence.
+        """
+        if (key_i, value_i) > (key_j, value_j):  # canonical order
+            key_i, value_i, key_j, value_j = key_j, value_j, key_i, value_i
+        cache_key = (key_i, value_i, key_j, value_j)
+        cached = self._pair_idf_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        occurrences_i = self._occurrences.get((key_i, value_i), frozenset())
+        occurrences_j = self._occurrences.get((key_j, value_j), frozenset())
+        denominator = max(1, len(occurrences_i | occurrences_j))
+        total = max(self.total_objects, denominator)
+        value = math.log(total / denominator)
+        self._pair_idf_cache[cache_key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Similar values
+    # ------------------------------------------------------------------
+    def similar_values(self, key: str, value: str) -> list[str]:
+        """Distinct corpus values of kind ``key`` with ``ned < θ_tuple``
+        to ``value`` (including the value itself when present)."""
+        cached = self._similar_cache.get((key, value))
+        if cached is not None:
+            return cached
+        index = self._value_indexes.get(key)
+        result = index.search(value, self.theta_tuple) if index else []
+        self._similar_cache[(key, value)] = result
+        return result
+
+    def objects_with_similar(
+        self, key: str, value: str, exclude: int | None = None
+    ) -> set[int]:
+        """Ids of objects holding a tuple of kind ``key`` whose value is
+        similar to ``value``; optionally excluding one object id."""
+        found: set[int] = set()
+        for similar in self.similar_values(key, value):
+            found |= self._occurrences.get((key, similar), set())
+        if exclude is not None:
+            found.discard(exclude)
+        return found
+
+    # ------------------------------------------------------------------
+    # Blocking
+    # ------------------------------------------------------------------
+    def block_keys(self, od: ObjectDescription) -> Iterable[tuple[str, str]]:
+        """Block keys for shared-tuple blocking.
+
+        An OD receives one key per (kind, similar-value) combination.
+        If two objects have similar comparable tuples ``v ~ w``, the
+        first object's keys include ``(kind, w)`` and the second object
+        carries ``(kind, w)`` natively, so the pair shares a block —
+        no similar pair is ever missed (lossless for sim > 0).
+        """
+        keys: set[tuple[str, str]] = set()
+        for odt in od.tuples:
+            key = self.key_of(odt.name)
+            for similar in self.similar_values(key, odt.value):
+                keys.add((key, similar))
+        return keys
+
+    def statistics(self) -> dict[str, int]:
+        """Index size statistics (for benchmarks and logging)."""
+        return {
+            "objects": self.total_objects,
+            "terms": len(self._occurrences),
+            "kinds": len(self._value_indexes),
+            "distinct_values": sum(
+                len(index) for index in self._value_indexes.values()
+            ),
+        }

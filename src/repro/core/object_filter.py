@@ -1,0 +1,97 @@
+"""The object filter f (Section 5.2, Equation 9).
+
+f(OD_i) weighs the information OD_i shares with *any* other object
+against the information unique to OD_i:
+
+* ``S_shared`` — tuples of OD_i similar (``ned < θ_tuple``) to a
+  comparable tuple of at least one other object;
+* ``S_unique`` — tuples of OD_i that are comparable to other objects'
+  data (their kind is specified elsewhere) but similar to none of it —
+  the per-object rendering of the paper's ⋂ ODT≠;
+* tuples of a kind no other object specifies influence neither set
+  (they are non-specified data in every comparison).
+
+If ``f(OD_i) <= θ_cand`` the object is pruned: every pair involving it
+is skipped in one step.  The paper presents f as an upper bound of
+``sim``; it is a heuristic bound (a pair can reach sim = 1 whenever one
+object's specified data is entirely matched), so — like the paper — we
+evaluate the filter empirically via recall/precision (Fig. 8), and the
+test-suite measures the bound-violation rate instead of asserting it to
+be zero.
+
+The per-tuple softIDF uses the singleton form log(|Ω|/|O_odt|); shared
+tuples enter the numerator exactly as their best-case pair softIDF
+would, keeping f comparable in scale to sim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..framework import ObjectDescription
+from .index import CorpusIndex
+from .softidf import singleton_soft_idf
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of evaluating f on one object."""
+
+    object_id: int
+    score: float
+    shared_idf: float
+    unique_idf: float
+    kept: bool
+
+
+class ObjectFilter:
+    """f(OD_i) with an ``f <= θ_cand`` pruning rule."""
+
+    def __init__(self, index: CorpusIndex, theta_cand: float) -> None:
+        if not 0 <= theta_cand <= 1:
+            raise ValueError(f"theta_cand must be in [0, 1], got {theta_cand}")
+        self.index = index
+        self.theta_cand = theta_cand
+        self.decisions: list[FilterDecision] = []
+
+    def score(self, od: ObjectDescription) -> float:
+        """f(OD_i) per Equation 9."""
+        return self.decide(od).score
+
+    def decide(self, od: ObjectDescription) -> FilterDecision:
+        """Evaluate f and record the decision."""
+        shared_idf = 0.0
+        unique_idf = 0.0
+        for odt in od.tuples:
+            key = self.index.key_of(odt.name)
+            others_with_similar = self.index.objects_with_similar(
+                key, odt.value, exclude=od.object_id
+            )
+            if others_with_similar:
+                shared_idf += singleton_soft_idf(odt, self.index)
+            else:
+                others_with_kind = self.index.objects_with_key(key) - {
+                    od.object_id
+                }
+                if others_with_kind:
+                    unique_idf += singleton_soft_idf(odt, self.index)
+                # else: kind unspecified everywhere else -> non-specified.
+        denominator = shared_idf + unique_idf
+        score = shared_idf / denominator if denominator > 0 else 0.0
+        decision = FilterDecision(
+            object_id=od.object_id,
+            score=score,
+            shared_idf=shared_idf,
+            unique_idf=unique_idf,
+            kept=score > self.theta_cand,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def keep(self, od: ObjectDescription) -> bool:
+        """Pruning predicate for :class:`ObjectFilterPruning`."""
+        return self.decide(od).kept
+
+    @property
+    def pruned_count(self) -> int:
+        return sum(1 for decision in self.decisions if not decision.kept)

@@ -1,0 +1,84 @@
+"""datagen: synthetic equivalents of the paper's datasets.
+
+FreeDB-like CD corpora (Datasets 1 and 3), the two-source movie corpus
+(Dataset 2), the XML Dirty Data Generator, and the paper's running
+example.  All generators are seeded and fully deterministic; generated
+objects carry a ``gid`` attribute as the gold standard (attributes
+never reach object descriptions).
+"""
+
+from .dirty import (
+    DirtyConfig,
+    DirtyDataGenerator,
+    GOLD_ATTRIBUTE,
+    gold_id,
+    gold_pairs_from_elements,
+)
+from .freedb import (
+    CD_XSD,
+    CDCorpus,
+    CDRecord,
+    cd_schema,
+    cd_to_element,
+    freedb_corpus,
+    freedb_large_corpus,
+    generate_cds,
+)
+from .movies import (
+    FILMDIENST_XSD,
+    IMDB_XSD,
+    MovieCorpus,
+    MovieRecord,
+    filmdienst_element,
+    filmdienst_schema,
+    generate_movies,
+    imdb_element,
+    imdb_schema,
+    movie_corpus,
+    movie_mapping,
+)
+from .paper_example import (
+    PAPER_EXAMPLE_XML,
+    PAPER_EXAMPLE_XSD,
+    paper_example_document,
+    paper_example_mapping,
+    paper_example_schema,
+)
+from .synonyms import DEFAULT_SYNONYMS, SynonymTable
+from .typos import corrupt, introduce_typo
+
+__all__ = [
+    "CD_XSD",
+    "CDCorpus",
+    "CDRecord",
+    "DEFAULT_SYNONYMS",
+    "DirtyConfig",
+    "FILMDIENST_XSD",
+    "IMDB_XSD",
+    "DirtyDataGenerator",
+    "GOLD_ATTRIBUTE",
+    "MovieCorpus",
+    "MovieRecord",
+    "PAPER_EXAMPLE_XML",
+    "PAPER_EXAMPLE_XSD",
+    "SynonymTable",
+    "cd_schema",
+    "cd_to_element",
+    "corrupt",
+    "filmdienst_element",
+    "filmdienst_schema",
+    "freedb_corpus",
+    "freedb_large_corpus",
+    "generate_cds",
+    "generate_movies",
+    "gold_id",
+    "gold_pairs_from_elements",
+    "imdb_element",
+    "imdb_schema",
+    "introduce_typo",
+    "movie_corpus",
+    "movie_mapping",
+    "paper_example_document",
+    "paper_example_mapping",
+    "paper_example_schema",
+]

@@ -1,0 +1,78 @@
+"""Synonym substitution.
+
+The XML Dirty Data Generator's "percentage of synonymous (but
+contradictory) data": equal meaning, different string — which the
+similarity measure, lacking a thesaurus, sees as contradictory data
+(the paper discusses exactly this limitation for Dataset 2).
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Synonym groups: any member may replace any other.
+_DEFAULT_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("Rock", "Rock & Roll"),
+    ("Pop", "Popular"),
+    ("Hip-Hop", "Rap"),
+    ("Electronic", "Electronica"),
+    ("Classical", "Classic"),
+    ("Country", "Country & Western"),
+    ("Soul", "R&B"),
+    ("World", "International"),
+    ("Metal", "Heavy Metal"),
+    ("Folk", "Folklore"),
+    ("Love", "Romance"),
+    ("Night", "Evening"),
+    ("Road", "Highway"),
+    ("Home", "House"),
+    ("Dream", "Reverie"),
+    ("Ocean", "Sea"),
+    ("Storm", "Tempest"),
+    ("Song", "Tune"),
+    ("Forever", "Eternally"),
+    ("Journey", "Voyage"),
+)
+
+
+class SynonymTable:
+    """Word-level synonym lookup with whole-value and token substitution."""
+
+    def __init__(self, groups: tuple[tuple[str, ...], ...] = _DEFAULT_GROUPS) -> None:
+        self._alternatives: dict[str, tuple[str, ...]] = {}
+        for group in groups:
+            for word in group:
+                others = tuple(member for member in group if member != word)
+                if not others:
+                    raise ValueError(f"synonym group {group!r} needs >= 2 members")
+                existing = self._alternatives.get(word, ())
+                self._alternatives[word] = existing + tuple(
+                    other for other in others if other not in existing
+                )
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._alternatives
+
+    def alternatives(self, word: str) -> tuple[str, ...]:
+        return self._alternatives.get(word, ())
+
+    def substitute(self, value: str, rng: random.Random) -> str:
+        """Replace the value, or one of its tokens, with a synonym.
+
+        Whole-value synonyms take precedence (genre names); otherwise a
+        random replaceable token is swapped.  Values with no known
+        synonym are returned unchanged.
+        """
+        whole = self.alternatives(value)
+        if whole:
+            return rng.choice(whole)
+        words = value.split(" ")
+        replaceable = [index for index, word in enumerate(words) if word in self]
+        if not replaceable:
+            return value
+        index = rng.choice(replaceable)
+        words[index] = rng.choice(self.alternatives(words[index]))
+        return " ".join(words)
+
+
+DEFAULT_SYNONYMS = SynonymTable()

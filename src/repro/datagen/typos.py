@@ -1,0 +1,75 @@
+"""Typographical-error injection.
+
+The XML Dirty Data Generator's "percentage of typographical errors"
+parameter: with that probability per text value, one character-level
+edit (insertion, deletion, substitution, or adjacent transposition) is
+applied — occasionally two, as real typos cluster.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_INSERTABLE = string.ascii_lowercase + "  "
+
+#: Rows of a QWERTY keyboard for realistic substitutions.
+_KEYBOARD_ROWS = ("qwertyuiop", "asdfghjkl", "zxcvbnm")
+
+
+def _neighbor(char: str, rng: random.Random) -> str:
+    lower = char.lower()
+    for row in _KEYBOARD_ROWS:
+        index = row.find(lower)
+        if index != -1:
+            choices = []
+            if index > 0:
+                choices.append(row[index - 1])
+            if index < len(row) - 1:
+                choices.append(row[index + 1])
+            replacement = rng.choice(choices)
+            return replacement.upper() if char.isupper() else replacement
+    return rng.choice(string.ascii_lowercase)
+
+
+def introduce_typo(value: str, rng: random.Random) -> str:
+    """Apply one random character edit; guaranteed to change the value
+    (except for the empty string, which is returned unchanged)."""
+    if not value:
+        return value
+    operation = rng.choice(("insert", "delete", "substitute", "transpose"))
+    position = rng.randrange(len(value))
+    if operation == "insert":
+        return value[:position] + rng.choice(_INSERTABLE) + value[position:]
+    if operation == "delete":
+        if len(value) == 1:
+            return value + rng.choice(string.ascii_lowercase)
+        return value[:position] + value[position + 1 :]
+    if operation == "substitute":
+        original = value[position]
+        replacement = _neighbor(original, rng)
+        if replacement == original:
+            replacement = "x" if original != "x" else "y"
+        return value[:position] + replacement + value[position + 1 :]
+    # transpose
+    if len(value) == 1:
+        return rng.choice(string.ascii_lowercase) + value
+    if position == len(value) - 1:
+        position -= 1
+    if value[position] == value[position + 1]:
+        # Transposing equal characters is a no-op; substitute instead.
+        return value[:position] + _neighbor(value[position], rng) + value[position + 1 :]
+    return (
+        value[:position]
+        + value[position + 1]
+        + value[position]
+        + value[position + 2 :]
+    )
+
+
+def corrupt(value: str, rng: random.Random, burst_probability: float = 0.2) -> str:
+    """One typo, and with ``burst_probability`` a second one."""
+    corrupted = introduce_typo(value, rng)
+    if rng.random() < burst_probability:
+        corrupted = introduce_typo(corrupted, rng)
+    return corrupted

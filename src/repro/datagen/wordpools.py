@@ -1,0 +1,142 @@
+"""Word pools for the synthetic corpora.
+
+The paper's datasets come from FreeDB (CDs) and IMDB / Film-Dienst
+(movies); neither is distributable, so the generators compose records
+from these pools.  Pools are plain tuples — generators draw from them
+with their own seeded :class:`random.Random` so corpora are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+    "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa", "Edward",
+    "Deborah", "Ronald", "Stephanie", "Timothy", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
+    "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
+    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott",
+    "Nicole", "Brandon", "Helen", "Benjamin", "Samantha", "Samuel",
+    "Katherine", "Gregory", "Christine", "Frank", "Debra", "Alexander",
+    "Rachel", "Raymond", "Carolyn", "Patrick", "Janet", "Jack", "Catherine",
+    "Dennis", "Maria", "Jerry", "Heather",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez",
+)
+
+BAND_WORDS = (
+    "Electric", "Midnight", "Crimson", "Velvet", "Silver", "Golden",
+    "Broken", "Silent", "Burning", "Frozen", "Wild", "Lonely", "Neon",
+    "Cosmic", "Savage", "Gentle", "Hollow", "Rising", "Falling", "Lost",
+    "Wicked", "Sacred", "Thunder", "Shadow", "Echo", "Winter", "Summer",
+    "Autumn", "Iron", "Glass", "Paper", "Stone", "River", "Ocean",
+    "Mountain", "Desert", "Phantom", "Royal", "Rebel", "Gypsy",
+)
+
+BAND_NOUNS = (
+    "Hearts", "Wolves", "Kings", "Queens", "Riders", "Dreamers", "Angels",
+    "Ghosts", "Ravens", "Tigers", "Serpents", "Saints", "Sinners",
+    "Strangers", "Pilots", "Poets", "Prophets", "Drifters", "Ramblers",
+    "Outlaws", "Mirrors", "Engines", "Lanterns", "Arrows", "Embers",
+    "Horizons", "Travelers", "Vagabonds", "Sparrows", "Foxes",
+)
+
+TITLE_WORDS = (
+    "Love", "Night", "Day", "Heart", "Dream", "Fire", "Rain", "Moon",
+    "Sun", "Star", "Road", "Home", "Time", "Life", "Soul", "Sky",
+    "Light", "Dark", "Blue", "Red", "Black", "White", "Gold", "Wind",
+    "Storm", "Dance", "Song", "Story", "Memory", "Promise", "Secret",
+    "Whisper", "Shadow", "Echo", "Mirror", "River", "Ocean", "Mountain",
+    "Valley", "City", "Street", "Train", "Highway", "Garden", "Island",
+    "Winter", "Summer", "Spring", "Morning", "Evening", "Midnight",
+    "Forever", "Yesterday", "Tomorrow", "Freedom", "Glory", "Wonder",
+    "Silence", "Thunder", "Lightning", "Rainbow", "Horizon", "Journey",
+    "Destiny", "Paradise", "Eternity", "Infinity", "Miracle", "Mystery",
+)
+
+TITLE_PATTERNS = (
+    "{a} of {b}",
+    "{a} and {b}",
+    "{a} in the {b}",
+    "The {a} of {b}",
+    "{a} Without {b}",
+    "Waiting for the {a}",
+    "Beyond the {a}",
+    "Under the {a}",
+    "{a} {b}",
+    "My {a}",
+    "No More {a}",
+    "Chasing the {a}",
+    "Children of the {a}",
+    "Return to {a}",
+    "A {a} for {b}",
+)
+
+GENRES = (
+    "Rock", "Pop", "Jazz", "Blues", "Classical", "Country", "Folk",
+    "Electronic", "Hip-Hop", "Reggae", "Soul", "Funk", "Metal", "Punk",
+    "Gospel", "Latin", "World", "Ambient", "Techno", "House",
+)
+
+CD_EXTRA_NOTES = (
+    "Digitally remastered edition",
+    "Includes bonus tracks",
+    "Limited edition digipak",
+    "Recorded live on tour",
+    "Original soundtrack recording",
+    "Special anniversary release",
+    "Imported pressing",
+    "Includes multimedia content",
+    "Promotional copy",
+    "Collector's edition",
+)
+
+MOVIE_GENRES_EN = (
+    "Action", "Adventure", "Comedy", "Drama", "Thriller", "Horror",
+    "Science Fiction", "Fantasy", "Romance", "Crime", "Mystery",
+    "Western", "War", "Documentary", "Animation", "Musical", "Biography",
+    "History", "Family", "Sport",
+)
+
+#: German renderings of MOVIE_GENRES_EN (index-aligned) — the Dataset 2
+#: synonym problem: equal meaning, mostly dissimilar strings.
+MOVIE_GENRES_DE = (
+    "Actionfilm", "Abenteuer", "Komoedie", "Drama", "Thriller", "Horror",
+    "Science-Fiction", "Fantasy", "Liebesfilm", "Krimi", "Mysteryfilm",
+    "Western", "Kriegsfilm", "Dokumentarfilm", "Zeichentrick", "Musikfilm",
+    "Filmbiografie", "Historienfilm", "Familienfilm", "Sportfilm",
+)
+
+MOVIE_TITLE_WORDS_DE = (
+    "Liebe", "Nacht", "Tag", "Herz", "Traum", "Feuer", "Regen", "Mond",
+    "Sonne", "Stern", "Strasse", "Heimat", "Zeit", "Leben", "Seele",
+    "Himmel", "Licht", "Schatten", "Fluss", "Meer", "Berg", "Stadt",
+    "Winter", "Sommer", "Morgen", "Mitternacht", "Freiheit", "Stille",
+    "Donner", "Wunder", "Reise", "Schicksal", "Paradies", "Geheimnis",
+)
+
+MONTH_NAMES_EN = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)

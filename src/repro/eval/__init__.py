@@ -1,0 +1,78 @@
+"""eval: metrics, datasets, experiment grid, sweeps, and reporting.
+
+Regenerates the evaluation section of the paper: Figures 5–8 and
+Tables 4–6, against the synthetic dataset equivalents.
+"""
+
+from .calibration import CalibrationResult, calibrate_theta_cand, suggest_theta_tuple
+from .datasets import (
+    Dataset,
+    build_dataset1,
+    build_dataset2,
+    build_dataset3,
+    cd_mapping,
+)
+from .experiments import EXPERIMENTS, EXPERIMENTS_BY_NAME, Experiment
+from .gold import gold_pairs, objects_with_duplicates
+from .harness import (
+    FilterSweepResult,
+    SweepResult,
+    ThresholdSweepResult,
+    run_dataset1_sweep,
+    run_dataset2_sweep,
+    run_dataset3_threshold_sweep,
+    run_experiment,
+    run_filter_sweep,
+    run_heuristic_sweep,
+)
+from .metrics import (
+    PRResult,
+    cluster_metrics,
+    cluster_pairs,
+    filter_metrics,
+    pair_metrics,
+)
+from .reporting import (
+    format_comparable_elements_table,
+    format_experiment_table,
+    format_filter_table,
+    format_schema_elements_table,
+    format_sweep_table,
+    format_threshold_table,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "Dataset",
+    "EXPERIMENTS",
+    "EXPERIMENTS_BY_NAME",
+    "Experiment",
+    "FilterSweepResult",
+    "PRResult",
+    "SweepResult",
+    "ThresholdSweepResult",
+    "build_dataset1",
+    "build_dataset2",
+    "build_dataset3",
+    "cd_mapping",
+    "calibrate_theta_cand",
+    "cluster_metrics",
+    "cluster_pairs",
+    "filter_metrics",
+    "format_comparable_elements_table",
+    "format_experiment_table",
+    "format_filter_table",
+    "format_schema_elements_table",
+    "format_sweep_table",
+    "format_threshold_table",
+    "gold_pairs",
+    "objects_with_duplicates",
+    "pair_metrics",
+    "run_dataset1_sweep",
+    "run_dataset2_sweep",
+    "run_dataset3_threshold_sweep",
+    "run_experiment",
+    "run_filter_sweep",
+    "run_heuristic_sweep",
+    "suggest_theta_tuple",
+]

@@ -1,0 +1,79 @@
+"""framework: the generalized duplicate-detection framework (Sec. 2).
+
+Candidate definition, duplicate definition (descriptions + classifiers),
+and the six-step detection pipeline, independent of any particular
+algorithm.  DogmatiX (:mod:`repro.core`) and the baselines
+(:mod:`repro.baselines`) are specializations of this package.
+"""
+
+from .candidates import CandidateDefinition
+from .classifier import (
+    Classifier,
+    DUPLICATES,
+    MatchingTuplesClassifier,
+    NON_DUPLICATES,
+    POSSIBLE_DUPLICATES,
+    ThresholdClassifier,
+)
+from .clustering import UnionFind, duplicate_clusters
+from .description import DescriptionDefinition, generate_ods
+from .mapping import MappingError, TypeMapping, mapping_from_schema, mapping_from_xml
+from .od import ObjectDescription, ODTuple, od_from_pairs
+from .pipeline import DetectionPipeline
+from .pruning import (
+    NoPruning,
+    ObjectFilterPruning,
+    PairSource,
+    SharedTupleBlocking,
+    count_pairs,
+)
+from .queries import candidate_xquery, description_xquery, od_generation_xquery
+from .incremental import IncrementalDeduplicator
+from .relational import (
+    Relation,
+    example1_relations,
+    relational_mapping,
+    relational_ods,
+)
+from .representatives import merge_cluster_od, prime_representatives
+from .result import DetectionResult, ScoredPair, clusters_from_xml
+
+__all__ = [
+    "CandidateDefinition",
+    "Classifier",
+    "DUPLICATES",
+    "DescriptionDefinition",
+    "DetectionPipeline",
+    "DetectionResult",
+    "IncrementalDeduplicator",
+    "MappingError",
+    "MatchingTuplesClassifier",
+    "NON_DUPLICATES",
+    "NoPruning",
+    "ODTuple",
+    "ObjectDescription",
+    "ObjectFilterPruning",
+    "POSSIBLE_DUPLICATES",
+    "Relation",
+    "PairSource",
+    "ScoredPair",
+    "SharedTupleBlocking",
+    "ThresholdClassifier",
+    "TypeMapping",
+    "UnionFind",
+    "candidate_xquery",
+    "clusters_from_xml",
+    "count_pairs",
+    "description_xquery",
+    "duplicate_clusters",
+    "example1_relations",
+    "generate_ods",
+    "mapping_from_schema",
+    "merge_cluster_od",
+    "prime_representatives",
+    "mapping_from_xml",
+    "od_from_pairs",
+    "od_generation_xquery",
+    "relational_mapping",
+    "relational_ods",
+]

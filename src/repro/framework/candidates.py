@@ -1,0 +1,61 @@
+"""Candidate definition and candidate query execution (framework step 1).
+
+Definition 1 of the paper: the duplicate candidates of real-world type
+``T`` are the union of all instances of the schema elements mapped to
+``T``.  Here the schema elements are generic XPaths; execution selects
+the matching elements of a document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..xmlkit import Document, Element, XPath, compile_path
+from .mapping import TypeMapping
+
+
+@dataclass(frozen=True)
+class CandidateDefinition:
+    """``S_T``: the schema elements describing one real-world type."""
+
+    real_world_type: str
+    xpaths: tuple[str, ...]
+    _compiled: tuple[XPath, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.xpaths:
+            raise ValueError(
+                f"candidate definition for {self.real_world_type!r} needs xpaths"
+            )
+        object.__setattr__(
+            self, "_compiled", tuple(compile_path(p) for p in self.xpaths)
+        )
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: TypeMapping, real_world_type: str
+    ) -> "CandidateDefinition":
+        """Candidate selection by picking a type from the mapping *M*."""
+        return cls(real_world_type, tuple(sorted(mapping.xpaths_of(real_world_type))))
+
+    def select(self, documents: Document | Element | Iterable[Document | Element]) -> list[Element]:
+        """Execute the candidate query: Ω_T over one or more documents.
+
+        Elements are returned in (document, document-order) sequence;
+        their index in this list is the candidate's object id.
+        """
+        if isinstance(documents, (Document, Element)):
+            documents = [documents]
+        candidates: list[Element] = []
+        for document in documents:
+            for xpath in self._compiled:
+                candidates.extend(xpath.select(document))
+        # One element may match several xpaths; deduplicate by identity.
+        seen: set[int] = set()
+        unique: list[Element] = []
+        for element in candidates:
+            if id(element) not in seen:
+                seen.add(id(element))
+                unique.append(element)
+        return unique

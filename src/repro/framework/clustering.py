@@ -1,0 +1,80 @@
+"""Duplicate clustering (framework step 6).
+
+"is-duplicate-of" is treated as transitive, so the detected duplicate
+pairs are closed into clusters — connected components, computed with a
+union–find structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class UnionFind:
+    """Disjoint sets over the integers ``0..n-1`` with path compression
+    and union by size."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._parent = list(range(size))
+        self._size = [1] * size
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: int) -> int:
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already merged."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> list[list[int]]:
+        """All sets with at least one member, members sorted."""
+        by_root: dict[int, list[int]] = {}
+        for item in range(len(self._parent)):
+            by_root.setdefault(self.find(item), []).append(item)
+        return sorted(by_root.values())
+
+
+def duplicate_clusters(
+    pairs: Iterable[tuple[int, int]], universe: int | Sequence[int]
+) -> list[list[int]]:
+    """Transitive closure of duplicate pairs into clusters.
+
+    ``universe`` is either the number of candidates or an explicit id
+    sequence.  Only clusters with two or more members are returned
+    (singletons are not duplicates of anything), sorted by their
+    smallest member.
+    """
+    if isinstance(universe, int):
+        ids = list(range(universe))
+    else:
+        ids = list(universe)
+    position = {object_id: index for index, object_id in enumerate(ids)}
+    uf = UnionFind(len(ids))
+    for a, b in pairs:
+        uf.union(position[a], position[b])
+    clusters = [
+        [ids[index] for index in group]
+        for group in uf.groups()
+        if len(group) >= 2
+    ]
+    return sorted(clusters, key=lambda group: group[0])

@@ -1,0 +1,128 @@
+"""Incremental duplicate detection with prime representatives.
+
+The merge/purge line of work the paper builds on ([12]) processes
+records incrementally: each incoming record is compared against the
+*prime representatives* of the clusters found so far, not against every
+past record.  The paper plans to adopt the notion; this module supplies
+it on top of the framework:
+
+* new objects are scored against each cluster's representative (and, if
+  the representative misses, optionally against all cluster members —
+  the safe mode);
+* on a match the object joins the cluster and the representative is
+  re-elected under the configured policy;
+* unmatched objects found mutually similar start new clusters via the
+  ordinary transitive closure.
+
+This trades a little recall (a representative may not resemble every
+member) for comparisons linear in the number of clusters — the same
+trade-off the object filter makes at corpus level.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .od import ObjectDescription
+from .representatives import merge_cluster_od
+
+SimilarityFunction = Callable[[ObjectDescription, ObjectDescription], float]
+
+
+class IncrementalDeduplicator:
+    """Cluster stream of ODs against evolving prime representatives.
+
+    Parameters
+    ----------
+    similarity:
+        Pair similarity (e.g. a bound :class:`DogmatixSimilarity`).
+    threshold:
+        Duplicate threshold (Definition 6's θ_cand).
+    representative_policy:
+        "merged" — the representative is the fusion of all members'
+        tuples (default; monotonically accumulates evidence), or
+        "richest" — the member with the most tuples.
+    check_members_on_miss:
+        When True, a representative miss falls back to comparing the
+        new object against individual members (no recall loss from
+        representation, at higher cost).
+    """
+
+    def __init__(
+        self,
+        similarity: SimilarityFunction,
+        threshold: float,
+        representative_policy: str = "merged",
+        check_members_on_miss: bool = False,
+    ) -> None:
+        if not 0 <= threshold <= 1:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if representative_policy not in ("merged", "richest"):
+            raise ValueError(f"unknown policy {representative_policy!r}")
+        self.similarity = similarity
+        self.threshold = threshold
+        self.policy = representative_policy
+        self.check_members_on_miss = check_members_on_miss
+        self._clusters: list[list[int]] = []
+        self._representatives: list[ObjectDescription] = []
+        self._members: dict[int, ObjectDescription] = {}
+        self.comparisons = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def clusters(self) -> list[list[int]]:
+        """Current clusters (including singletons), insertion-ordered."""
+        return [list(cluster) for cluster in self._clusters]
+
+    def duplicate_clusters(self) -> list[list[int]]:
+        """Clusters with two or more members."""
+        return [list(c) for c in self._clusters if len(c) >= 2]
+
+    def add(self, od: ObjectDescription) -> int:
+        """Insert one object; returns the index of its cluster."""
+        if od.object_id in self._members:
+            raise ValueError(f"object id {od.object_id} already added")
+        self._members[od.object_id] = od
+        best_index: Optional[int] = None
+        best_score = self.threshold
+        for index, representative in enumerate(self._representatives):
+            self.comparisons += 1
+            score = self.similarity(od, representative)
+            if score > best_score:
+                best_score = score
+                best_index = index
+        if best_index is None and self.check_members_on_miss:
+            for index, cluster in enumerate(self._clusters):
+                if len(cluster) < 2:
+                    continue  # singleton == its representative
+                for member_id in cluster:
+                    self.comparisons += 1
+                    score = self.similarity(od, self._members[member_id])
+                    if score > best_score:
+                        best_score = score
+                        best_index = index
+                        break
+                if best_index is not None:
+                    break
+        if best_index is None:
+            self._clusters.append([od.object_id])
+            self._representatives.append(od)
+            return len(self._clusters) - 1
+        self._clusters[best_index].append(od.object_id)
+        self._representatives[best_index] = self._elect(best_index)
+        return best_index
+
+    def add_all(self, ods: list[ObjectDescription]) -> None:
+        for od in ods:
+            self.add(od)
+
+    def representative_of(self, cluster_index: int) -> ObjectDescription:
+        return self._representatives[cluster_index]
+
+    # ------------------------------------------------------------------
+    def _elect(self, cluster_index: int) -> ObjectDescription:
+        cluster = self._clusters[cluster_index]
+        members = [self._members[object_id] for object_id in cluster]
+        if self.policy == "richest":
+            return max(members, key=lambda od: (len(od.tuples), -od.object_id))
+        return merge_cluster_od(cluster, members, object_id=min(cluster))

@@ -1,0 +1,92 @@
+"""Object descriptions (ODs).
+
+Definition 3 of the paper: an OD is a relation with schema
+``OD(value, name)`` — for XML, ``value`` is the text node of a selected
+element and ``name`` is its absolute XPath in the document.  An OD
+instance describes one duplicate candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..xmlkit import Element
+
+
+@dataclass(frozen=True, order=True)
+class ODTuple:
+    """One ``(value, name)`` pair of an object description."""
+
+    value: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"({self.value}, {self.name})"
+
+
+class ObjectDescription:
+    """The description of one duplicate candidate.
+
+    Attributes
+    ----------
+    object_id:
+        Index of the candidate within the candidate set Ω_T.
+    element:
+        The candidate's XML element (None for externally supplied ODs —
+        the framework deliberately allows descriptions not constrained
+        by the data source, see Definition 2).
+    tuples:
+        The OD tuples, in selection order.
+    """
+
+    __slots__ = ("object_id", "element", "tuples")
+
+    def __init__(
+        self,
+        object_id: int,
+        tuples: Iterable[ODTuple],
+        element: Optional[Element] = None,
+    ) -> None:
+        self.object_id = object_id
+        self.element = element
+        self.tuples: tuple[ODTuple, ...] = tuple(tuples)
+
+    def __iter__(self) -> Iterator[ODTuple]:
+        return iter(self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def values(self) -> list[str]:
+        return [odt.value for odt in self.tuples]
+
+    def names(self) -> list[str]:
+        return [odt.name for odt in self.tuples]
+
+    def non_empty(self) -> "ObjectDescription":
+        """Copy without empty-valued tuples.
+
+        Elements without a text node produce empty values; the paper's
+        content-model discussion (Condition 1) notes these are neither
+        similar nor contradictory to anything, so dropping them is the
+        conservative treatment when the selection was not already
+        filtered by c_cm.
+        """
+        return ObjectDescription(
+            self.object_id,
+            (odt for odt in self.tuples if odt.value != ""),
+            self.element,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OD #{self.object_id} tuples={len(self.tuples)}>"
+
+
+def od_from_pairs(
+    object_id: int, pairs: Iterable[tuple[str, str]], element: Optional[Element] = None
+) -> ObjectDescription:
+    """Build an OD from raw ``(value, name)`` pairs."""
+    return ObjectDescription(
+        object_id, (ODTuple(value, name) for value, name in pairs), element
+    )

@@ -1,0 +1,108 @@
+"""Comparison reduction (framework step 4).
+
+Definition 4 of the paper: a pruning method φ is a two-class classifier
+over candidate pairs ("pruned" / "not pruned").  Both families the paper
+names are provided:
+
+* **filtering** — an object-level filter prunes, in one step, *all*
+  pairs involving an object that provably (or heuristically) has no
+  duplicate; DogmatiX's f(OD_i) plugs in here
+  (:class:`ObjectFilterPruning` adapts any per-object score);
+* **blocking/clustering** — only pairs within a block are compared;
+  :class:`SharedTupleBlocking` generates exactly the pairs that share at
+  least one similar comparable OD tuple, which is lossless for any
+  classifier that needs a positive similarity to fire.
+
+:class:`NoPruning` enumerates all pairs (the quadratic baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Protocol, Sequence
+
+from .od import ObjectDescription
+
+
+class PairSource(Protocol):
+    """Produces the candidate pairs that survive comparison reduction."""
+
+    def pairs(
+        self, ods: Sequence[ObjectDescription]
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(i, j)`` object-id pairs with ``i < j``."""
+        ...  # pragma: no cover - protocol
+
+
+class NoPruning:
+    """All :math:`\\binom{n}{2}` pairs."""
+
+    def pairs(self, ods: Sequence[ObjectDescription]) -> Iterator[tuple[int, int]]:
+        ids = [od.object_id for od in ods]
+        for a in range(len(ids)):
+            for b in range(a + 1, len(ids)):
+                yield ids[a], ids[b]
+
+
+class ObjectFilterPruning:
+    """Filter pruning: drop every pair involving a filtered-out object.
+
+    ``object_filter`` maps an OD to True ("keep") or False ("prune all
+    pairs of this object").  The surviving objects are paired by the
+    wrapped source (all-pairs by default).
+    """
+
+    def __init__(
+        self,
+        object_filter: Callable[[ObjectDescription], bool],
+        inner: PairSource | None = None,
+    ) -> None:
+        self.object_filter = object_filter
+        self.inner = inner or NoPruning()
+        self.pruned_ids: list[int] = []
+
+    def pairs(self, ods: Sequence[ObjectDescription]) -> Iterator[tuple[int, int]]:
+        kept = []
+        self.pruned_ids = []
+        for od in ods:
+            if self.object_filter(od):
+                kept.append(od)
+            else:
+                self.pruned_ids.append(od.object_id)
+        yield from self.inner.pairs(kept)
+
+
+class SharedTupleBlocking:
+    """Pairs of objects sharing at least one similar, comparable tuple.
+
+    ``tuple_groups`` maps each OD tuple to a block key set: two objects
+    are paired iff some tuple of one and some tuple of the other map to
+    a common key.  With keys = "similarity group of the tuple's value
+    within its real-world type", the generated pair set is a superset of
+    all pairs with ``ODT≈ ≠ ∅`` — i.e. lossless for DogmatiX, whose
+    similarity is zero without at least one similar comparable pair.
+    """
+
+    def __init__(
+        self, block_keys: Callable[[ObjectDescription], Iterable[object]]
+    ) -> None:
+        self.block_keys = block_keys
+
+    def pairs(self, ods: Sequence[ObjectDescription]) -> Iterator[tuple[int, int]]:
+        blocks: dict[object, list[int]] = {}
+        for od in ods:
+            for key in set(self.block_keys(od)):
+                blocks.setdefault(key, []).append(od.object_id)
+        emitted: set[tuple[int, int]] = set()
+        for members in blocks.values():
+            members.sort()
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    pair = (members[a], members[b])
+                    if pair not in emitted:
+                        emitted.add(pair)
+                        yield pair
+
+
+def count_pairs(n: int) -> int:
+    """Number of unordered pairs over ``n`` candidates."""
+    return n * (n - 1) // 2

@@ -1,0 +1,82 @@
+"""Query formulation (Section 3.3 of the paper).
+
+The framework's candidate and description selections are declarative;
+at runtime they are translated into executable queries.  The paper
+derives XQueries.  This module renders the same FLWOR expressions as
+text (for inspection, logging, and to document what would be shipped to
+an XQuery processor) while execution happens natively on the xmlkit
+XPath engine via :class:`~repro.framework.candidates.CandidateDefinition`
+and :class:`~repro.framework.description.DescriptionDefinition`.
+"""
+
+from __future__ import annotations
+
+from .candidates import CandidateDefinition
+from .description import DescriptionDefinition
+
+
+def candidate_xquery(definition: CandidateDefinition, doc_var: str = "$doc") -> str:
+    """Render the candidate query Q_C as an XQuery FLWOR expression."""
+    paths = [f"{doc_var}{p}" for p in definition.xpaths]
+    if len(paths) == 1:
+        source = paths[0]
+    else:
+        source = "(" + ", ".join(paths) + ")"
+    return (
+        f"for $candidate in {source}\n"
+        f"return $candidate"
+    )
+
+
+def description_xquery(
+    candidate: CandidateDefinition,
+    description: DescriptionDefinition,
+    doc_var: str = "$doc",
+) -> str:
+    """Render the description query Q_D as an XQuery FLWOR expression.
+
+    The query wraps each candidate's selected description elements in a
+    ``<description>`` element, mirroring the projection the paper's
+    graphical tool composes.
+    """
+    candidate_paths = [f"{doc_var}{p}" for p in candidate.xpaths]
+    source = (
+        candidate_paths[0]
+        if len(candidate_paths) == 1
+        else "(" + ", ".join(candidate_paths) + ")"
+    )
+    projections = ",\n    ".join(
+        "$candidate/" + p.removeprefix("./") for p in description.xpaths
+    )
+    return (
+        f"for $candidate in {source}\n"
+        f"return\n"
+        f"  <description>{{\n"
+        f"    {projections}\n"
+        f"  }}</description>"
+    )
+
+
+def od_generation_xquery(
+    candidate: CandidateDefinition,
+    description: DescriptionDefinition,
+    doc_var: str = "$doc",
+) -> str:
+    """Render the OD-generation mapping as an XQuery: value/name pairs."""
+    candidate_paths = [f"{doc_var}{p}" for p in candidate.xpaths]
+    source = (
+        candidate_paths[0]
+        if len(candidate_paths) == 1
+        else "(" + ", ".join(candidate_paths) + ")"
+    )
+    selections = ", ".join(
+        "$candidate/" + p.removeprefix("./") for p in description.xpaths
+    )
+    return (
+        f"for $candidate in {source}\n"
+        f"return\n"
+        f"  <od>{{\n"
+        f"    for $e in ({selections})\n"
+        f"    return <odt name=\"{{fn:path($e)}}\">{{fn:string($e)}}</odt>\n"
+        f"  }}</od>"
+    )

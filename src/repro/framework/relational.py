@@ -1,0 +1,106 @@
+"""Relational adapter: the framework on tabular data.
+
+Section 2 claims the framework is data-model independent ("relational,
+XML, etc."), and Example 1 is relational: ``Movie`` and ``Film``
+relations mapped to one real-world type ``motion-pic``, ``Actor`` kept
+separate.  This adapter turns relations (named column/value records)
+into object descriptions whose tuple names are virtual XPaths
+``/<relation>/<column>``, so the mapping *M*, the similarity measure,
+and the whole pipeline apply unchanged.
+
+NULL / empty attribute values become non-specified data (no OD tuple),
+matching the measure's treatment of missing XML elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .mapping import TypeMapping
+from .od import ObjectDescription, ODTuple
+
+
+@dataclass
+class Relation:
+    """A named table: column names plus rows of values."""
+
+    name: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Optional[str], ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation name must be non-empty")
+        if not self.columns:
+            raise ValueError(f"relation {self.name!r} needs columns")
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row {row!r} does not match columns {self.columns}"
+                )
+
+    def insert(self, values: Mapping[str, Optional[str]]) -> None:
+        """Append a row given as a column/value mapping."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(tuple(values.get(column) for column in self.columns))
+
+    def column_path(self, column: str) -> str:
+        if column not in self.columns:
+            raise ValueError(f"no column {column!r} in {self.name!r}")
+        return f"/{self.name}/{column}"
+
+    def tuple_path(self) -> str:
+        return f"/{self.name}"
+
+
+def relational_ods(
+    relations: Sequence[Relation],
+    start_id: int = 0,
+    exclude_columns: Iterable[str] = (),
+) -> list[ObjectDescription]:
+    """One OD per row across all relations (the candidate set Ω_T).
+
+    Tuple names are ``/<relation>[<row>]/<column>`` (positional, so
+    every tuple is uniquely named, exactly like XML OD generation);
+    NULL and empty values are skipped.  ``exclude_columns`` drops
+    columns by name across all relations (e.g. surrogate keys).
+    """
+    excluded = set(exclude_columns)
+    ods: list[ObjectDescription] = []
+    object_id = start_id
+    for relation in relations:
+        for row_number, row in enumerate(relation.rows, start=1):
+            tuples = [
+                ODTuple(value, f"/{relation.name}[{row_number}]/{column}")
+                for column, value in zip(relation.columns, row)
+                if column not in excluded and value
+            ]
+            ods.append(ObjectDescription(object_id, tuples))
+            object_id += 1
+    return ods
+
+
+def relational_mapping(
+    column_types: Mapping[str, Sequence[str]],
+) -> TypeMapping:
+    """Build M for relations.
+
+    ``column_types`` maps a type name to the column paths it unifies,
+    e.g. ``{"TITLE": ["/Movie/title", "/Film/titel"]}`` — the Example 1
+    situation where two relations represent one real-world type.
+    """
+    mapping = TypeMapping()
+    for type_name, paths in column_types.items():
+        mapping.add(type_name, list(paths))
+    return mapping
+
+
+def example1_relations() -> tuple[Relation, Relation, Relation]:
+    """The paper's Example 1 schema: Movie, Film, and Actor relations."""
+    movie = Relation("Movie", ("title", "year", "director"))
+    film = Relation("Film", ("titel", "jahr", "regie"))
+    actor = Relation("Actor", ("name", "born"))
+    return movie, film, actor

@@ -1,0 +1,123 @@
+"""Detection results: pairs, clusters, and the dupcluster XML output.
+
+Figure 3 of the paper: for every cluster of duplicate objects a
+``<dupcluster>`` element is generated, identified by a unique ``oid``,
+whose members are identified by their XPaths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..xmlkit import Document, Element, serialize
+from .od import ObjectDescription
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """One compared pair with its similarity and class label."""
+
+    left: int
+    right: int
+    similarity: float
+    label: str
+
+
+@dataclass
+class DetectionResult:
+    """Everything a detection run produced.
+
+    ``pairs`` holds only the pairs instantiated for downstream
+    processing (duplicates and, if configured, possible duplicates) —
+    non-duplicate pairs are not materialized, matching the paper's
+    Step 5 note.
+    """
+
+    real_world_type: str
+    ods: Sequence[ObjectDescription]
+    pairs: list[ScoredPair]
+    clusters: list[list[int]]
+    pruned_object_ids: list[int] = field(default_factory=list)
+    compared_pairs: int = 0
+
+    @property
+    def duplicate_pairs(self) -> list[ScoredPair]:
+        from .classifier import DUPLICATES
+
+        return [pair for pair in self.pairs if pair.label == DUPLICATES]
+
+    @property
+    def possible_pairs(self) -> list[ScoredPair]:
+        from .classifier import POSSIBLE_DUPLICATES
+
+        return [pair for pair in self.pairs if pair.label == POSSIBLE_DUPLICATES]
+
+    def duplicate_id_pairs(self) -> set[tuple[int, int]]:
+        """Unordered duplicate pairs as ``(min, max)`` id tuples."""
+        return {
+            (min(p.left, p.right), max(p.left, p.right))
+            for p in self.duplicate_pairs
+        }
+
+    def object_path(self, object_id: int) -> str:
+        element = self.ods[object_id].element
+        if element is None:
+            return f"object:{object_id}"
+        return element.absolute_path()
+
+    def to_xml(self) -> str:
+        """Serialize the clusters as the Fig. 3 dupcluster document."""
+        root = Element("dupclusters", {"type": self.real_world_type})
+        for oid, members in enumerate(self.clusters, start=1):
+            cluster = Element("dupcluster", {"oid": str(oid)})
+            for object_id in members:
+                cluster.append(
+                    Element(
+                        "duplicate",
+                        content=[self.object_path(object_id)],
+                    )
+                )
+            root.append(cluster)
+        return serialize(Document(root))
+
+    def cluster_paths(self) -> list[list[str]]:
+        """Clusters as lists of member XPaths (the Fig. 3 payload)."""
+        return [
+            [self.object_path(object_id) for object_id in members]
+            for members in self.clusters
+        ]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.real_world_type}: {len(self.ods)} candidates, "
+            f"{self.compared_pairs} comparisons, "
+            f"{len(self.duplicate_pairs)} duplicate pairs, "
+            f"{len(self.clusters)} clusters, "
+            f"{len(self.pruned_object_ids)} objects pruned"
+        )
+
+
+def clusters_from_xml(text: str) -> tuple[str, list[list[str]]]:
+    """Parse a Fig. 3 dupcluster document back into cluster path lists.
+
+    Returns ``(real_world_type, clusters)``; the inverse of
+    :meth:`DetectionResult.to_xml` at the path level, for pipelines that
+    persist detection output and post-process it later (e.g. fusion).
+    """
+    from ..xmlkit import parse
+
+    document = parse(text)
+    root = document.root
+    if root.tag != "dupclusters":
+        raise ValueError(f"expected <dupclusters>, got <{root.tag}>")
+    clusters: list[list[str]] = []
+    for cluster in root.find_all("dupcluster"):
+        members = [node.text for node in cluster.find_all("duplicate")]
+        if len(members) < 2:
+            raise ValueError(
+                f"dupcluster oid={cluster.get('oid')!r} has < 2 members"
+            )
+        clusters.append(members)
+    return root.get("type", ""), clusters

@@ -1,0 +1,49 @@
+"""strings: string-similarity substrate.
+
+Edit distance with banding and thresholded checks, cheap lower/upper
+bounds, a q-gram index for similarity search, Jaro/Jaro–Winkler, and
+token-set measures.
+"""
+
+from .bounds import (
+    BoundedMatcher,
+    bag_distance,
+    edit_distance_lower_bound,
+    edit_distance_upper_bound,
+    length_lower_bound,
+    normalized_lower_bound,
+    normalized_upper_bound,
+)
+from .jaro import jaro, jaro_winkler
+from .levenshtein import (
+    edit_distance,
+    ned_cached,
+    normalized_edit_distance,
+    within_normalized,
+)
+from .qgram import QGramIndex, qgrams, strict_budget
+from .tokenize import dice, jaccard, normalize, overlap, tokens
+
+__all__ = [
+    "BoundedMatcher",
+    "QGramIndex",
+    "bag_distance",
+    "dice",
+    "edit_distance",
+    "edit_distance_lower_bound",
+    "edit_distance_upper_bound",
+    "jaccard",
+    "jaro",
+    "ned_cached",
+    "jaro_winkler",
+    "length_lower_bound",
+    "normalize",
+    "normalized_edit_distance",
+    "normalized_lower_bound",
+    "normalized_upper_bound",
+    "overlap",
+    "qgrams",
+    "strict_budget",
+    "tokens",
+    "within_normalized",
+]

@@ -1,0 +1,65 @@
+"""Jaro and Jaro–Winkler similarity.
+
+Not used by the DogmatiX measure itself, but standard in the record-
+linkage literature the paper builds on ([8] Jaro, [19] Winkler); the
+baseline comparators and the examples use them as alternative OD-tuple
+similarity functions.
+"""
+
+from __future__ import annotations
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]; 1 means identical."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    if window < 0:
+        window = 0
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, char_a in enumerate(a):
+        low = max(0, i - window)
+        high = min(len_b, i + window + 1)
+        for j in range(low, high):
+            if not matched_b[j] and b[j] == char_a:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler similarity: Jaro boosted by common-prefix length.
+
+    ``prefix_scale`` must be in [0, 0.25] for the result to stay in
+    [0, 1]; the conventional value is 0.1.
+    """
+    if not 0 <= prefix_scale <= 0.25:
+        raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix == 4:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)

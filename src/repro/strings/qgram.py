@@ -1,0 +1,160 @@
+"""q-gram index for edit-distance similarity search.
+
+Scoring every pair of distinct values per real-world type is quadratic;
+the classic database trick is count filtering on q-grams: strings within
+edit distance ``d`` share at least
+
+    max(|a|, |b|) + q - 1 - q * d
+
+padded q-grams, counted with multiset semantics (Gravano et al., VLDB
+2001).  The index buckets q-grams of every registered value; a probe
+merges the buckets of the query's q-grams, applies length and count
+filters, and verifies survivors with the banded dynamic program.
+
+DogmatiX uses this to build, per real-world type, groups of mutually
+similar values that drive both the inverted-index pair generation and
+the object filter.
+
+Soundness notes:
+
+* the count filter is applied on exact multiset intersections of the
+  stored gram counters, not on distinct-gram bucket hits;
+* when the threshold is so large that the required shared-gram count
+  can drop to zero for some candidate length, candidate gathering falls
+  back to scanning the affected length classes, so no true match is
+  ever filtered out (property-tested against brute force).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from .levenshtein import within_normalized
+
+#: Padding character outside the XML character-data alphabet we generate.
+_PAD = "\x00"
+
+
+def qgrams(value: str, q: int = 2) -> list[str]:
+    """Padded q-grams of a string (``q - 1`` pad chars on each side)."""
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    padded = _PAD * (q - 1) + value + _PAD * (q - 1)
+    return [padded[i : i + q] for i in range(len(padded) - q + 1)]
+
+
+def strict_budget(threshold: float, longest: int) -> int:
+    """Largest integer edit distance strictly below ``threshold * longest``.
+
+    ``ned(a, b) < threshold`` iff ``ed(a, b) <= strict_budget(...)``.
+    """
+    bound = threshold * longest
+    budget = int(bound)
+    if budget == bound:
+        budget -= 1
+    return budget
+
+
+class QGramIndex:
+    """Index of string values supporting thresholded ``ned`` probes."""
+
+    def __init__(self, q: int = 2) -> None:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self._values: list[str] = []
+        self._grams: list[Counter[str]] = []
+        self._ids: dict[str, int] = {}
+        self._buckets: dict[str, list[int]] = defaultdict(list)
+        self._by_length: dict[int, list[int]] = defaultdict(list)
+        self.probes = 0
+        self.verifications = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._ids
+
+    @property
+    def values(self) -> list[str]:
+        return list(self._values)
+
+    def add(self, value: str) -> int:
+        """Register a value (idempotent); returns its id."""
+        existing = self._ids.get(value)
+        if existing is not None:
+            return existing
+        value_id = len(self._values)
+        self._values.append(value)
+        self._ids[value] = value_id
+        grams = Counter(qgrams(value, self.q))
+        self._grams.append(grams)
+        for gram in grams:
+            self._buckets[gram].append(value_id)
+        self._by_length[len(value)].append(value_id)
+        return value_id
+
+    def search(self, query: str, threshold: float) -> list[str]:
+        """All indexed values ``v`` with ``ned(query, v) < threshold``.
+
+        The query itself is included when indexed (``ned = 0``).
+        Results are in insertion order.
+        """
+        self.probes += 1
+        matched: set[int] = set()
+        query_id = self._ids.get(query)
+        if query_id is not None:
+            matched.add(query_id)
+        if threshold > 0:
+            for value_id in self._candidates(query, threshold):
+                if value_id == query_id:
+                    continue
+                value = self._values[value_id]
+                self.verifications += 1
+                if within_normalized(query, value, threshold):
+                    matched.add(value_id)
+        return [self._values[value_id] for value_id in sorted(matched)]
+
+    def _candidates(self, query: str, threshold: float) -> set[int]:
+        """Candidate ids passing the length and count filters."""
+        length_q = len(query)
+        query_grams = Counter(qgrams(query, self.q))
+        candidates: set[int] = set()
+
+        # Bucket gathering with exact multiset count filtering.
+        shared: dict[int, int] = defaultdict(int)
+        for gram in query_grams:
+            for value_id in self._buckets.get(gram, ()):
+                shared[value_id] += 1  # provisional distinct count
+        for value_id in shared:
+            value = self._values[value_id]
+            longest = max(length_q, len(value))
+            budget = strict_budget(threshold, longest)
+            if budget < 0 or abs(length_q - len(value)) > budget:
+                continue
+            required = longest + self.q - 1 - self.q * budget
+            if required > 0:
+                overlap = sum(
+                    min(count, self._grams[value_id][gram])
+                    for gram, count in query_grams.items()
+                )
+                if overlap < required:
+                    continue
+            candidates.add(value_id)
+
+        # Degenerate lengths: the required count can reach zero, meaning
+        # a match might share no grams at all; scan those length classes.
+        for length, ids in self._by_length.items():
+            longest = max(length_q, length)
+            budget = strict_budget(threshold, longest)
+            if budget < 0 or abs(length_q - length) > budget:
+                continue
+            required = longest + self.q - 1 - self.q * budget
+            if required <= 0:
+                candidates.update(ids)
+        return candidates
+
+    def similarity_groups(self, threshold: float) -> dict[str, list[str]]:
+        """For every indexed value, the values similar to it (incl. itself)."""
+        return {value: self.search(value, threshold) for value in self._values}

@@ -1,0 +1,48 @@
+"""xmlkit: self-contained XML substrate.
+
+Parser, tree model, serializer, XPath-subset engine, and XML Schema
+(XSD-subset) model with parsing and inference.  Everything DogmatiX
+needs from an XML stack, with no third-party dependencies.
+"""
+
+from .parser import parse, parse_file
+from .schema import (
+    ContentModel,
+    DataType,
+    Schema,
+    SchemaElement,
+    UNBOUNDED,
+)
+from .schema_infer import infer_schema, sniff_data_type
+from .schema_parser import parse_schema, parse_schema_file
+from .serialize import serialize
+from .xquery import XQuery, XQueryError, execute as execute_xquery
+from .tree import Document, Element, XMLError, strip_positions
+from .xpath import XPath, XPathSyntaxError, compile_path, join, select
+
+__all__ = [
+    "ContentModel",
+    "DataType",
+    "Document",
+    "Element",
+    "Schema",
+    "SchemaElement",
+    "UNBOUNDED",
+    "XMLError",
+    "XQuery",
+    "XQueryError",
+    "XPath",
+    "XPathSyntaxError",
+    "compile_path",
+    "execute_xquery",
+    "infer_schema",
+    "join",
+    "parse",
+    "parse_file",
+    "parse_schema",
+    "parse_schema_file",
+    "select",
+    "serialize",
+    "sniff_data_type",
+    "strip_positions",
+]

@@ -1,0 +1,96 @@
+"""XML parser: token stream to :class:`~repro.xmlkit.tree.Document`.
+
+A small recursive-descent (actually stack-based) well-formedness-checking
+parser.  Whitespace-only text between elements is dropped unless the
+element already carries non-whitespace text (mixed content keeps its
+spacing); leading/trailing whitespace of text nodes is preserved in the
+tree and normalized by accessors.
+"""
+
+from __future__ import annotations
+
+from .tokens import Token, Tokenizer, TokenType
+from .tree import Document, Element, XMLError
+
+
+def parse(text: str) -> Document:
+    """Parse an XML string into a :class:`Document`.
+
+    Raises :class:`XMLError` on malformed input (mismatched tags,
+    multiple roots, trailing content, bad entities, ...).
+    """
+    declaration: dict[str, str] = {}
+    root: Element | None = None
+    stack: list[Element] = []
+
+    for token in Tokenizer(text).tokens():
+        if token.type is TokenType.DECLARATION:
+            if root is not None or stack:
+                raise XMLError("XML declaration must precede the root element")
+            declaration = dict(token.attributes)
+        elif token.type in (TokenType.COMMENT, TokenType.PI, TokenType.DOCTYPE):
+            continue
+        elif token.type is TokenType.TEXT:
+            if not stack:
+                if token.value.strip():
+                    raise XMLError(
+                        f"text outside the root element at offset {token.offset}"
+                    )
+                continue
+            if token.value:
+                stack[-1].append(token.value)
+        elif token.type in (TokenType.START_TAG, TokenType.EMPTY_TAG):
+            element = Element(token.value, dict(token.attributes))
+            if stack:
+                stack[-1].append(element)
+            elif root is None:
+                root = element
+            else:
+                raise XMLError(
+                    f"multiple root elements (second <{token.value}> "
+                    f"at offset {token.offset})"
+                )
+            if token.type is TokenType.START_TAG:
+                stack.append(element)
+        elif token.type is TokenType.END_TAG:
+            if not stack:
+                raise XMLError(
+                    f"unexpected closing tag </{token.value}> at offset {token.offset}"
+                )
+            open_element = stack.pop()
+            if open_element.tag != token.value:
+                raise XMLError(
+                    f"mismatched tags: <{open_element.tag}> closed by "
+                    f"</{token.value}> at offset {token.offset}"
+                )
+        else:  # pragma: no cover - exhaustive
+            raise XMLError(f"unhandled token type {token.type}")
+
+    if stack:
+        raise XMLError(f"unclosed element <{stack[-1].tag}> at end of input")
+    if root is None:
+        raise XMLError("document has no root element")
+    _strip_ignorable_whitespace(root)
+    return Document(root, declaration)
+
+
+def parse_file(path: str) -> Document:
+    """Parse an XML file (UTF-8)."""
+    with open(path, encoding="utf-8") as handle:
+        return parse(handle.read())
+
+
+def _strip_ignorable_whitespace(element: Element) -> None:
+    """Drop whitespace-only text nodes in elements that have children.
+
+    Pretty-printed documents put indentation between child elements; that
+    indentation is not data.  Elements without child elements keep their
+    text verbatim.
+    """
+    for node in element.iter():
+        if node.children and not any(
+            isinstance(item, str) and item.strip() for item in node.content
+        ):
+            node._content = [  # noqa: SLF001 - tree-internal cleanup
+                item for item in node.content if isinstance(item, Element)
+            ]

@@ -1,0 +1,280 @@
+"""XML Schema (XSD-subset) object model.
+
+The DogmatiX description-selection heuristics (Sec. 4 of the paper) are
+driven entirely by schema information: the tree structure (ancestor /
+descendant / breadth-first proximity), element data types (string vs.
+other), content models (simple / complex / mixed), and cardinalities
+(mandatory, singleton).  This module is the in-memory model carrying
+exactly that information.
+
+Schemas can be built programmatically, parsed from a subset of XSD
+(:mod:`repro.xmlkit.schema_parser`), or inferred from instance documents
+(:mod:`repro.xmlkit.schema_infer`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Iterator, Optional
+
+from .tree import XMLError
+
+#: Sentinel for ``maxOccurs="unbounded"``.
+UNBOUNDED: int | None = None
+
+
+class ContentModel(Enum):
+    """XML content models.
+
+    Only ``SIMPLE`` and ``MIXED`` elements can carry a text node — the
+    content-model condition :math:`c_{cm}` of the paper keys off this.
+    ``EMPTY`` elements carry neither text nor children.
+    """
+
+    SIMPLE = "simple"
+    COMPLEX = "complex"
+    MIXED = "mixed"
+    EMPTY = "empty"
+
+
+class DataType(Enum):
+    """Simple-type buckets relevant to the heuristics.
+
+    The string-data-type condition :math:`c_{sdt}` keeps only STRING
+    elements.  Anything that is not one of the recognized non-string
+    types is treated as STRING (XSD's default interpretation of
+    unconstrained character data).
+    """
+
+    STRING = "string"
+    DATE = "date"
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    BOOLEAN = "boolean"
+    NONE = "none"          # complex content: no simple type at all
+
+
+#: xs:* simple type names mapped into our buckets.
+XSD_TYPE_MAP = {
+    "string": DataType.STRING,
+    "normalizedString": DataType.STRING,
+    "token": DataType.STRING,
+    "anyURI": DataType.STRING,
+    "ID": DataType.STRING,
+    "IDREF": DataType.STRING,
+    "NMTOKEN": DataType.STRING,
+    "date": DataType.DATE,
+    "gYear": DataType.DATE,
+    "gYearMonth": DataType.DATE,
+    "dateTime": DataType.DATE,
+    "time": DataType.DATE,
+    "int": DataType.INTEGER,
+    "integer": DataType.INTEGER,
+    "long": DataType.INTEGER,
+    "short": DataType.INTEGER,
+    "byte": DataType.INTEGER,
+    "nonNegativeInteger": DataType.INTEGER,
+    "positiveInteger": DataType.INTEGER,
+    "unsignedInt": DataType.INTEGER,
+    "decimal": DataType.DECIMAL,
+    "float": DataType.DECIMAL,
+    "double": DataType.DECIMAL,
+    "boolean": DataType.BOOLEAN,
+}
+
+
+class SchemaElement:
+    """One element declaration in the schema tree."""
+
+    __slots__ = (
+        "name",
+        "data_type",
+        "content_model",
+        "min_occurs",
+        "max_occurs",
+        "nillable",
+        "is_key",
+        "parent",
+        "_children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        data_type: DataType = DataType.STRING,
+        content_model: ContentModel = ContentModel.SIMPLE,
+        min_occurs: int = 1,
+        max_occurs: int | None = 1,
+        nillable: bool = False,
+        is_key: bool = False,
+    ) -> None:
+        if not name:
+            raise XMLError("schema element name must be non-empty")
+        if min_occurs < 0:
+            raise XMLError(f"minOccurs must be >= 0, got {min_occurs}")
+        if max_occurs is not UNBOUNDED and max_occurs < max(min_occurs, 1):
+            raise XMLError(
+                f"maxOccurs ({max_occurs}) must be unbounded or >= "
+                f"max(minOccurs, 1) for element {name!r}"
+            )
+        self.name = name
+        self.data_type = data_type
+        self.content_model = content_model
+        self.min_occurs = min_occurs
+        self.max_occurs = max_occurs
+        self.nillable = nillable
+        self.is_key = is_key
+        self.parent: Optional[SchemaElement] = None
+        self._children: list[SchemaElement] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_child(self, child: "SchemaElement") -> "SchemaElement":
+        """Attach a child declaration; returns the child for chaining."""
+        if child.parent is not None:
+            raise XMLError(f"schema element {child.name!r} already has a parent")
+        if any(existing.name == child.name for existing in self._children):
+            raise XMLError(
+                f"duplicate child declaration {child.name!r} under {self.name!r}"
+            )
+        if self.content_model is ContentModel.SIMPLE:
+            # A simple element that gains children becomes complex.
+            self.content_model = ContentModel.COMPLEX
+            self.data_type = DataType.NONE
+        elif self.content_model is ContentModel.EMPTY:
+            self.content_model = ContentModel.COMPLEX
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Paper-relevant properties
+    # ------------------------------------------------------------------
+    @property
+    def children(self) -> tuple["SchemaElement", ...]:
+        return tuple(self._children)
+
+    @property
+    def is_mandatory(self) -> bool:
+        """Condition :math:`c_{me}`: minOccurs >= 1 (or key) and not nillable."""
+        return (self.min_occurs >= 1 or self.is_key) and not self.nillable
+
+    @property
+    def is_singleton(self) -> bool:
+        """Condition :math:`c_{se}`: 1:1 relationship with the parent."""
+        return self.max_occurs == 1
+
+    @property
+    def can_have_text(self) -> bool:
+        """Condition :math:`c_{cm}`: simple or mixed content model."""
+        return self.content_model in (ContentModel.SIMPLE, ContentModel.MIXED)
+
+    @property
+    def is_string(self) -> bool:
+        """Condition :math:`c_{sdt}`: string data type."""
+        return self.data_type is DataType.STRING
+
+    @property
+    def depth(self) -> int:
+        return sum(1 for _ in self.ancestors())
+
+    def path(self) -> str:
+        """Generic absolute XPath of this declaration, e.g. ``/disc/tracks/title``."""
+        names: list[str] = []
+        node: Optional[SchemaElement] = self
+        while node is not None:
+            names.append(node.name)
+            node = node.parent
+        return "/" + "/".join(reversed(names))
+
+    # ------------------------------------------------------------------
+    # Axes (mirror the instance-tree axes)
+    # ------------------------------------------------------------------
+    def ancestors(self) -> Iterator["SchemaElement"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def iter(self) -> Iterator["SchemaElement"]:
+        yield self
+        for child in self._children:
+            yield from child.iter()
+
+    def descendants(self) -> Iterator["SchemaElement"]:
+        for child in self._children:
+            yield from child.iter()
+
+    def descendants_at_depth(self, depth: int) -> list["SchemaElement"]:
+        """Declarations exactly ``depth`` levels below this one."""
+        if depth < 1:
+            raise XMLError("depth must be >= 1")
+        level: list[SchemaElement] = [self]
+        for _ in range(depth):
+            level = [child for node in level for child in node._children]
+        return level
+
+    def breadth_first(self) -> Iterator["SchemaElement"]:
+        """Descendants in breadth-first (document) order, excluding self.
+
+        This is the order the k-closest descendants heuristic walks.
+        """
+        queue: deque[SchemaElement] = deque(self._children)
+        while queue:
+            node = queue.popleft()
+            yield node
+            queue.extend(node._children)
+
+    def find(self, name: str) -> Optional["SchemaElement"]:
+        for child in self._children:
+            if child.name == name:
+                return child
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SchemaElement {self.path()} type={self.data_type.value} "
+            f"cm={self.content_model.value} occurs=[{self.min_occurs},"
+            f"{'*' if self.max_occurs is UNBOUNDED else self.max_occurs}]>"
+        )
+
+
+class Schema:
+    """A schema: the root declaration plus path-indexed lookup."""
+
+    def __init__(self, root: SchemaElement) -> None:
+        if root.parent is not None:
+            raise XMLError("schema root must not have a parent")
+        self.root = root
+        self._by_path: dict[str, SchemaElement] = {}
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._by_path = {element.path(): element for element in self.root.iter()}
+
+    def element_at(self, path: str) -> SchemaElement:
+        """Declaration at a generic absolute XPath; raises on miss."""
+        self._reindex()
+        try:
+            return self._by_path[path]
+        except KeyError:
+            raise XMLError(f"no schema element at path {path!r}") from None
+
+    def get(self, path: str) -> Optional[SchemaElement]:
+        self._reindex()
+        return self._by_path.get(path)
+
+    def paths(self) -> list[str]:
+        self._reindex()
+        return list(self._by_path)
+
+    def iter(self) -> Iterator[SchemaElement]:
+        return self.root.iter()
+
+    def __contains__(self, path: str) -> bool:
+        return self.get(path) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Schema root=/{self.root.name} elements={len(self.paths())}>"

@@ -1,0 +1,274 @@
+"""Tree model for XML documents.
+
+The DogmatiX algorithm operates on XML element trees: candidates are
+elements, object descriptions are built from element text and XPaths,
+and the description-selection heuristics walk ancestor/descendant axes.
+This module provides the node model everything else builds on.
+
+The model intentionally supports mixed content: an element's ``content``
+is an ordered sequence of ``str`` (text nodes) and :class:`Element`
+children.  Helper accessors (``children``, ``text``, ``text_content``)
+cover the common simple/complex cases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Optional
+
+
+class XMLError(Exception):
+    """Base class for all xmlkit errors."""
+
+
+class Element:
+    """A single XML element node.
+
+    Parameters
+    ----------
+    tag:
+        The element name (qualified name, prefixes kept verbatim).
+    attributes:
+        Attribute name/value mapping.
+    content:
+        Ordered mixed content: strings (text nodes) and child elements.
+    """
+
+    __slots__ = ("tag", "attributes", "_content", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[dict[str, str]] = None,
+        content: Optional[Iterable["Element | str"]] = None,
+    ) -> None:
+        if not tag:
+            raise XMLError("element tag must be a non-empty string")
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.parent: Optional[Element] = None
+        self._content: list[Element | str] = []
+        for item in content or ():
+            self.append(item)
+
+    # ------------------------------------------------------------------
+    # Content manipulation
+    # ------------------------------------------------------------------
+    def append(self, item: "Element | str") -> None:
+        """Append a child element or a text node."""
+        if isinstance(item, Element):
+            if item.parent is not None:
+                raise XMLError(
+                    f"element <{item.tag}> already has a parent <{item.parent.tag}>"
+                )
+            item.parent = self
+            self._content.append(item)
+        elif isinstance(item, str):
+            self._content.append(item)
+        else:  # pragma: no cover - defensive
+            raise XMLError(f"cannot append {type(item).__name__} to an element")
+
+    def extend(self, items: Iterable["Element | str"]) -> None:
+        for item in items:
+            self.append(item)
+
+    def remove(self, child: "Element") -> None:
+        """Remove a direct child element."""
+        for i, item in enumerate(self._content):
+            if item is child:
+                del self._content[i]
+                child.parent = None
+                return
+        raise XMLError(f"<{child.tag}> is not a child of <{self.tag}>")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def content(self) -> tuple["Element | str", ...]:
+        """The ordered mixed content (text nodes and child elements)."""
+        return tuple(self._content)
+
+    @property
+    def children(self) -> list["Element"]:
+        """Direct child elements, in document order."""
+        return [item for item in self._content if isinstance(item, Element)]
+
+    @property
+    def text(self) -> str:
+        """Concatenation of the element's *direct* text nodes, stripped."""
+        return "".join(
+            item for item in self._content if isinstance(item, str)
+        ).strip()
+
+    def text_content(self) -> str:
+        """Concatenation of all text in the subtree (document order)."""
+        parts: list[str] = []
+        for item in self._content:
+            if isinstance(item, str):
+                parts.append(item)
+            else:
+                parts.append(item.text_content())
+        return "".join(parts)
+
+    @property
+    def has_text(self) -> bool:
+        """True if the element has a non-empty direct text node."""
+        return bool(self.text)
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First direct child with the given tag, or None."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All direct children with the given tag."""
+        return [child for child in self.children if child.tag == tag]
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Attribute lookup with default."""
+        return self.attributes.get(name, default)
+
+    # ------------------------------------------------------------------
+    # Axes
+    # ------------------------------------------------------------------
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield parent, grandparent, ... up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def iter(self) -> Iterator["Element"]:
+        """Yield self and all descendant elements in document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def descendants(self) -> Iterator["Element"]:
+        """Yield all descendant elements in document order (excluding self)."""
+        for child in self.children:
+            yield from child.iter()
+
+    def descendants_at_depth(self, depth: int) -> list["Element"]:
+        """All descendants exactly ``depth`` levels below this element."""
+        if depth < 1:
+            raise XMLError("depth must be >= 1")
+        level = [self]
+        for _ in range(depth):
+            level = [child for node in level for child in node.children]
+        return level
+
+    def breadth_first(self) -> Iterator["Element"]:
+        """Yield descendants in breadth-first order (excluding self)."""
+        queue: deque[Element] = deque(self.children)
+        while queue:
+            node = queue.popleft()
+            yield node
+            queue.extend(node.children)
+
+    @property
+    def depth(self) -> int:
+        """Number of ancestors (root element has depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    @property
+    def root(self) -> "Element":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def child_position(self, child: "Element") -> int:
+        """1-based position of ``child`` among same-tag siblings."""
+        position = 0
+        for node in self.children:
+            if node.tag == child.tag:
+                position += 1
+            if node is child:
+                return position
+        raise XMLError(f"<{child.tag}> is not a child of <{self.tag}>")
+
+    def absolute_path(self) -> str:
+        """Absolute XPath with positional predicates, e.g. ``/doc/movie[2]/title``.
+
+        Positions are omitted when an element is the only sibling with
+        its tag, matching the compact form the paper uses in Fig. 3.
+        """
+        steps: list[str] = []
+        node: Element = self
+        while node.parent is not None:
+            parent = node.parent
+            siblings = parent.find_all(node.tag)
+            if len(siblings) > 1:
+                steps.append(f"{node.tag}[{parent.child_position(node)}]")
+            else:
+                steps.append(node.tag)
+            node = parent
+        steps.append(node.tag)
+        return "/" + "/".join(reversed(steps))
+
+    def generic_path(self) -> str:
+        """Absolute XPath without positional predicates, e.g. ``/doc/movie/title``."""
+        steps: list[str] = []
+        node: Element = self
+        while node is not None:
+            steps.append(node.tag)
+            node = node.parent  # type: ignore[assignment]
+        return "/" + "/".join(reversed(steps))
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "Element":
+        """Deep copy of the subtree (the copy has no parent)."""
+        clone = Element(self.tag, dict(self.attributes))
+        for item in self._content:
+            if isinstance(item, Element):
+                clone.append(item.copy())
+            else:
+                clone.append(item)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.generic_path()} children={len(self.children)}>"
+
+
+class Document:
+    """An XML document: a root element plus prolog information."""
+
+    __slots__ = ("root", "declaration")
+
+    def __init__(self, root: Element, declaration: Optional[dict[str, str]] = None):
+        self.root = root
+        self.declaration = dict(declaration or {})
+
+    def iter(self) -> Iterator[Element]:
+        """All elements in document order."""
+        return self.root.iter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Document root=<{self.root.tag}>>"
+
+
+def strip_positions(path: str) -> str:
+    """Remove positional predicates from an XPath string.
+
+    ``/doc/movie[2]/title`` becomes ``/doc/movie/title``.  Used to map OD
+    tuple names (absolute XPaths) back to schema-level generic XPaths.
+    """
+    out: list[str] = []
+    skipping = False
+    for ch in path:
+        if ch == "[":
+            skipping = True
+        elif ch == "]":
+            skipping = False
+        elif not skipping:
+            out.append(ch)
+    return "".join(out)

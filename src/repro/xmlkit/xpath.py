@@ -1,0 +1,296 @@
+"""XPath-subset engine.
+
+DogmatiX uses XPaths in three places: the mapping *M* associates generic
+XPaths with real-world types, the candidate query selects all instances
+of a schema element, and description selections are sets of XPaths
+relative to a candidate.  This engine supports the subset those uses
+need:
+
+* absolute (``/doc/movie/title``) and relative (``./title``, ``title``)
+  location paths,
+* the descendant-or-self shorthand ``//tag`` (also mid-path),
+* the wildcard step ``*``,
+* positional predicates ``[3]``,
+* simple equality predicates on child text ``[title='Signs']``,
+* parent steps ``..`` and the self step ``.``.
+
+The grammar is deliberately small; anything else raises
+:class:`XPathSyntaxError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .tree import Document, Element, XMLError
+
+
+class XPathSyntaxError(XMLError):
+    """Raised for path expressions outside the supported subset."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step."""
+
+    axis: str                 # "child" | "descendant-or-self" | "self" | "parent"
+    tag: str                  # tag name or "*" (ignored for self/parent)
+    predicates: tuple["Predicate", ...] = ()
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Either a 1-based position test or a child-text equality test."""
+
+    position: int | None = None
+    child: str | None = None
+    value: str | None = None
+
+    def matches(self, element: Element, position: int) -> bool:
+        if self.position is not None:
+            return position == self.position
+        assert self.child is not None
+        return any(
+            node.text == self.value for node in element.find_all(self.child)
+        )
+
+
+@dataclass(frozen=True)
+class XPath:
+    """A compiled path expression."""
+
+    steps: tuple[Step, ...]
+    absolute: bool
+    source: str = field(compare=False, default="")
+
+    def select(self, context: Element | Document) -> list[Element]:
+        """Evaluate against a context node; returns elements in document order."""
+        if isinstance(context, Document):
+            document = context
+            context_element = context.root
+        else:
+            document = None
+            context_element = context
+
+        steps = self.steps
+        if self.absolute:
+            root = context_element.root
+            if not steps:
+                return [root]
+            first, steps = steps[0], steps[1:]
+            if first.axis == "descendant-or-self":
+                nodes = _descendant_or_self(root, first)
+            else:
+                # An absolute path names the root element as its first step.
+                nodes = (
+                    [root]
+                    if _tag_matches(first.tag, root.tag)
+                    and _apply_predicates([root], first.predicates)
+                    else []
+                )
+            current = nodes
+        else:
+            current = [context_element]
+
+        for step in steps:
+            current = _apply_step(current, step)
+        # Deduplicate while preserving document order.
+        seen: set[int] = set()
+        unique: list[Element] = []
+        for node in current:
+            if id(node) not in seen:
+                seen.add(id(node))
+                unique.append(node)
+        del document
+        return unique
+
+    def __str__(self) -> str:
+        return self.source or _render(self)
+
+
+def compile_path(expression: str) -> XPath:
+    """Compile a path expression string."""
+    text = expression.strip()
+    if not text:
+        raise XPathSyntaxError("empty XPath expression")
+    # Strip a leading XQuery-style variable binding like "$doc".
+    if text.startswith("$"):
+        slash = text.find("/")
+        if slash == -1:
+            raise XPathSyntaxError(f"variable-only path {expression!r}")
+        text = text[slash:]
+
+    absolute = text.startswith("/")
+    raw = text
+    steps: list[Step] = []
+    i = 0
+    n = len(text)
+    pending_descendant = False
+    if absolute:
+        i = 1
+        if i < n and text[i] == "/":
+            pending_descendant = True
+            i += 1
+    while i < n:
+        start = i
+        depth = 0
+        while i < n and (text[i] != "/" or depth > 0):
+            if text[i] == "[":
+                depth += 1
+            elif text[i] == "]":
+                depth -= 1
+            i += 1
+        token = text[start:i]
+        if not token:
+            raise XPathSyntaxError(f"empty step in {expression!r}")
+        steps.append(_parse_step(token, pending_descendant, expression))
+        pending_descendant = False
+        if i < n:  # consume '/'
+            i += 1
+            if i < n and text[i] == "/":
+                pending_descendant = True
+                i += 1
+            if i >= n and text[i - 1] == "/":
+                raise XPathSyntaxError(f"trailing slash in {expression!r}")
+    if pending_descendant:
+        raise XPathSyntaxError(f"dangling '//' in {expression!r}")
+    return XPath(tuple(steps), absolute, source=raw)
+
+
+def select(context: Element | Document, expression: str) -> list[Element]:
+    """Convenience one-shot: compile and evaluate."""
+    return compile_path(expression).select(context)
+
+
+def join(base: str, relative: str) -> str:
+    """Join a base path and a relative path textually.
+
+    ``join("/doc/movie", "./title")`` → ``"/doc/movie/title"``.
+    """
+    rel = relative.strip()
+    if rel.startswith("/"):
+        return rel
+    base = base.rstrip("/")
+    while True:
+        if rel.startswith("./"):
+            rel = rel[2:]
+        elif rel.startswith("../"):
+            rel = rel[3:]
+            base = base.rsplit("/", 1)[0]
+        elif rel == ".":
+            return base
+        elif rel == "..":
+            return base.rsplit("/", 1)[0]
+        else:
+            break
+    return f"{base}/{rel}" if rel else base
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+def _parse_step(token: str, descendant: bool, expression: str) -> Step:
+    predicates: list[Predicate] = []
+    while token.endswith("]"):
+        open_bracket = token.rfind("[")
+        if open_bracket == -1:
+            raise XPathSyntaxError(f"unbalanced predicate in {expression!r}")
+        predicates.insert(0, _parse_predicate(token[open_bracket + 1 : -1], expression))
+        token = token[:open_bracket]
+    axis = "descendant-or-self" if descendant else "child"
+    if token == ".":
+        if predicates:
+            raise XPathSyntaxError(f"predicates on '.' unsupported in {expression!r}")
+        return Step("self", ".")
+    if token == "..":
+        if predicates:
+            raise XPathSyntaxError(f"predicates on '..' unsupported in {expression!r}")
+        return Step("parent", "..")
+    if not token:
+        raise XPathSyntaxError(f"missing tag name in {expression!r}")
+    if token != "*" and not _is_step_name(token):
+        raise XPathSyntaxError(f"malformed step {token!r} in {expression!r}")
+    return Step(axis, token, tuple(predicates))
+
+
+_STEP_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_STEP_CHARS = _STEP_START | set("0123456789.-")
+
+
+def _is_step_name(name: str) -> bool:
+    return name[0] in _STEP_START and all(ch in _STEP_CHARS for ch in name)
+
+
+def _parse_predicate(body: str, expression: str) -> Predicate:
+    body = body.strip()
+    if not body:
+        raise XPathSyntaxError(f"empty predicate in {expression!r}")
+    if body.isdigit():
+        return Predicate(position=int(body))
+    if "=" in body:
+        child, _, value = body.partition("=")
+        child = child.strip()
+        value = value.strip()
+        if (
+            len(value) >= 2
+            and value[0] == value[-1]
+            and value[0] in "\"'"
+        ):
+            return Predicate(child=child, value=value[1:-1])
+    raise XPathSyntaxError(f"unsupported predicate [{body}] in {expression!r}")
+
+
+def _tag_matches(pattern: str, tag: str) -> bool:
+    return pattern == "*" or pattern == tag
+
+
+def _apply_predicates(
+    nodes: list[Element], predicates: tuple[Predicate, ...]
+) -> list[Element]:
+    current = nodes
+    for predicate in predicates:
+        current = [
+            node
+            for position, node in enumerate(current, start=1)
+            if predicate.matches(node, position)
+        ]
+    return current
+
+
+def _apply_step(nodes: Iterable[Element], step: Step) -> list[Element]:
+    if step.axis == "self":
+        return list(nodes)
+    if step.axis == "parent":
+        parents = [node.parent for node in nodes if node.parent is not None]
+        return parents
+    results: list[Element] = []
+    if step.axis == "child":
+        for node in nodes:
+            matched = [
+                child for child in node.children if _tag_matches(step.tag, child.tag)
+            ]
+            results.extend(_apply_predicates(matched, step.predicates))
+    else:  # descendant-or-self
+        for node in nodes:
+            results.extend(_descendant_or_self(node, step))
+    return results
+
+
+def _descendant_or_self(node: Element, step: Step) -> list[Element]:
+    matched = [
+        candidate
+        for candidate in node.iter()
+        if _tag_matches(step.tag, candidate.tag)
+    ]
+    return _apply_predicates(matched, step.predicates)
+
+
+def _render(path: XPath) -> str:  # pragma: no cover - debugging aid
+    parts: list[str] = []
+    for step in path.steps:
+        prefix = "//" if step.axis == "descendant-or-self" else "/"
+        parts.append(prefix + step.tag)
+    text = "".join(parts)
+    return text if path.absolute else text.lstrip("/")

@@ -1,0 +1,606 @@
+"""XQuery-subset interpreter.
+
+Section 3.3 of the paper derives XQueries from the candidate and
+description definitions.  :mod:`repro.framework.queries` renders those
+FLWOR expressions as text; this module makes them *executable*, so the
+rendered queries are not documentation but a second, independent
+evaluation path (tests assert both paths agree).
+
+Supported grammar (a deliberate subset):
+
+    flwor     := forClause (letClause)* (whereClause)? returnClause
+    forClause := "for" "$" name "in" exprSingle ("," "$" name "in" exprSingle)*
+    letClause := "let" "$" name ":=" exprSingle
+    where     := "where" orExpr
+    return    := "return" exprSingle
+    exprSingle:= flwor | orExpr
+    orExpr    := andExpr ("or" andExpr)*
+    andExpr   := cmpExpr ("and" cmpExpr)*
+    cmpExpr   := primary (("=" | "!=" | "<" | ">" | "<=" | ">=") primary)?
+    primary   := literal | sequence | pathExpr | functionCall | constructor
+    sequence  := "(" (exprSingle ("," exprSingle)*)? ")"
+    pathExpr  := ("$" name | "/"...) ("/" step)*      (xpath subset steps)
+    function  := ("fn:")? name "(" args ")"           (string, path, count,
+                                                       concat, data, exists)
+    constructor := "<" tag ">" (text | "{" expr "}")* "</" tag ">"
+
+Values are sequences (Python lists) of Elements, strings, and numbers —
+enough to execute every query the framework formulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .tree import Document, Element, XMLError
+from .xpath import compile_path
+
+Value = list  # sequences of Element | str | float
+
+
+class XQueryError(XMLError):
+    """Raised for queries outside the supported subset."""
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+_PUNCT = ("(", ")", ",", ":=", "=", "!=", "<=", ">=", "<", ">")
+_KEYWORDS = {"for", "let", "in", "where", "return", "and", "or"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str   # keyword | name | variable | string | number | punct | tag
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "<" and i + 1 < n and (source[i + 1].isalpha() or source[i + 1] == "/"):
+            # element constructor tag: <name ...> or </name>
+            end = source.find(">", i)
+            if end == -1:
+                raise XQueryError(f"unterminated constructor tag at {i}")
+            tokens.append(_Token("tag", source[i : end + 1], i))
+            i = end + 1
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] in "_-"):
+                j += 1
+            if j == i + 1:
+                raise XQueryError(f"bare '$' at {i}")
+            tokens.append(_Token("variable", source[i + 1 : j], i))
+            i = j
+            continue
+        if ch in "\"'":
+            end = source.find(ch, i + 1)
+            if end == -1:
+                raise XQueryError(f"unterminated string literal at {i}")
+            tokens.append(_Token("string", source[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            tokens.append(_Token("number", source[i:j], i))
+            i = j
+            continue
+        matched_punct = next(
+            (p for p in _PUNCT if source.startswith(p, i)), None
+        )
+        if ch == "{" or ch == "}":
+            tokens.append(_Token("punct", ch, i))
+            i += 1
+            continue
+        if matched_punct:
+            tokens.append(_Token("punct", matched_punct, i))
+            i += len(matched_punct)
+            continue
+        if ch == "/" or ch == ".":
+            # start of a rootless path expression
+            j = i
+            while j < n and source[j] not in " \t\r\n,()<>={}":
+                j += 1
+            tokens.append(_Token("path", source[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_:-."):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in _KEYWORDS else "name"
+            tokens.append(_Token(kind, word, i))
+            i = j
+            continue
+        raise XQueryError(f"unexpected character {ch!r} at {i}")
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Flwor:
+    bindings: tuple[tuple[str, str, "object"], ...]  # (kind, var, expr)
+    where: Optional["object"]
+    result: "object"
+
+
+@dataclass(frozen=True)
+class _Path:
+    variable: Optional[str]   # None for absolute paths
+    path: str                 # xpath text ('' means just the variable)
+
+
+@dataclass(frozen=True)
+class _Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class _Sequence:
+    items: tuple
+
+
+@dataclass(frozen=True)
+class _Call:
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class _Compare:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class _Logical:
+    op: str
+    operands: tuple
+
+
+@dataclass(frozen=True)
+class _Constructor:
+    tag: str
+    attributes: tuple[tuple[str, object], ...]  # value: str | expr
+    content: tuple                              # str | expr items
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- helpers -------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise XQueryError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise XQueryError(
+                f"expected {text or kind}, got {token.text!r} at {token.position}"
+            )
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token and token.kind == kind and (text is None or token.text == text):
+            self._pos += 1
+            return token
+        return None
+
+    # -- grammar -------------------------------------------------------
+    def parse(self):
+        expr = self.expr_single()
+        if self._peek() is not None:
+            token = self._peek()
+            raise XQueryError(f"trailing input {token.text!r} at {token.position}")
+        return expr
+
+    def expr_single(self):
+        token = self._peek()
+        if token and token.kind == "keyword" and token.text in ("for", "let"):
+            return self.flwor()
+        return self.or_expr()
+
+    def expr(self):
+        """Comma-separated expression list (sequence concatenation)."""
+        items = [self.expr_single()]
+        while self._accept("punct", ","):
+            items.append(self.expr_single())
+        return items[0] if len(items) == 1 else _Sequence(tuple(items))
+
+    def flwor(self) -> _Flwor:
+        bindings: list[tuple[str, str, object]] = []
+        while True:
+            token = self._peek()
+            if token and token.kind == "keyword" and token.text == "for":
+                self._next()
+                while True:
+                    variable = self._expect("variable").text
+                    self._expect("keyword", "in")
+                    bindings.append(("for", variable, self.expr_single()))
+                    if not self._accept("punct", ","):
+                        break
+            elif token and token.kind == "keyword" and token.text == "let":
+                self._next()
+                variable = self._expect("variable").text
+                self._expect("punct", ":=")
+                bindings.append(("let", variable, self.expr_single()))
+            else:
+                break
+        if not bindings:
+            raise XQueryError("FLWOR requires at least one for/let clause")
+        where = None
+        if self._accept("keyword", "where"):
+            where = self.or_expr()
+        self._expect("keyword", "return")
+        result = self.expr_single()
+        return _Flwor(tuple(bindings), where, result)
+
+    def or_expr(self):
+        operands = [self.and_expr()]
+        while self._accept("keyword", "or"):
+            operands.append(self.and_expr())
+        return operands[0] if len(operands) == 1 else _Logical("or", tuple(operands))
+
+    def and_expr(self):
+        operands = [self.cmp_expr()]
+        while self._accept("keyword", "and"):
+            operands.append(self.cmp_expr())
+        return operands[0] if len(operands) == 1 else _Logical("and", tuple(operands))
+
+    def cmp_expr(self):
+        left = self.primary()
+        token = self._peek()
+        if token and token.kind == "punct" and token.text in (
+            "=", "!=", "<", ">", "<=", ">=",
+        ):
+            op = self._next().text
+            right = self.primary()
+            return _Compare(op, left, right)
+        return left
+
+    def primary(self):
+        token = self._peek()
+        if token is None:
+            raise XQueryError("unexpected end of query")
+        if token.kind == "string":
+            self._next()
+            return _Literal(token.text)
+        if token.kind == "number":
+            self._next()
+            return _Literal(float(token.text))
+        if token.kind == "punct" and token.text == "(":
+            self._next()
+            items = []
+            if not self._accept("punct", ")"):
+                items.append(self.expr_single())
+                while self._accept("punct", ","):
+                    items.append(self.expr_single())
+                self._expect("punct", ")")
+            return _Sequence(tuple(items))
+        if token.kind == "variable":
+            self._next()
+            path = ""
+            nxt = self._peek()
+            if nxt and nxt.kind == "path":
+                path = self._next().text
+            return _Path(token.text, path.lstrip("/") if path else "")
+        if token.kind == "path":
+            self._next()
+            return _Path(None, token.text)
+        if token.kind == "tag":
+            return self.constructor(self._next())
+        if token.kind == "name":
+            self._next()
+            if self._accept("punct", "("):
+                args = []
+                if not self._accept("punct", ")"):
+                    args.append(self.expr_single())
+                    while self._accept("punct", ","):
+                        args.append(self.expr_single())
+                    self._expect("punct", ")")
+                name = token.text.removeprefix("fn:")
+                return _Call(name, tuple(args))
+            raise XQueryError(
+                f"bare name {token.text!r} at {token.position} "
+                "(did you mean a path or a function call?)"
+            )
+        raise XQueryError(f"unexpected token {token.text!r} at {token.position}")
+
+    def constructor(self, open_tag: _Token) -> _Constructor:
+        body = open_tag.text[1:-1].strip()
+        if body.startswith("/"):
+            raise XQueryError(f"unexpected closing tag {open_tag.text!r}")
+        tag, _, attr_text = body.partition(" ")
+        attributes = _parse_constructor_attributes(attr_text, open_tag.position)
+        if body.endswith("/"):
+            return _Constructor(body[:-1].strip().split(" ")[0], attributes, ())
+        content: list = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise XQueryError(f"unterminated <{tag}> constructor")
+            if token.kind == "tag" and token.text == f"</{tag}>":
+                self._next()
+                break
+            if token.kind == "tag" and token.text.startswith("</"):
+                raise XQueryError(
+                    f"mismatched constructor: <{tag}> closed by {token.text}"
+                )
+            if token.kind == "punct" and token.text == "{":
+                self._next()
+                content.append(self.expr())
+                self._expect("punct", "}")
+            elif token.kind == "tag":
+                content.append(self.constructor(self._next()))
+            else:
+                # Literal text inside a constructor: any run of tokens
+                # up to the next tag or brace, joined by spaces.
+                content.append(_Literal(self._next().text))
+        return _Constructor(tag, attributes, tuple(content))
+
+
+def _parse_constructor_attributes(
+    text: str, position: int
+) -> tuple[tuple[str, object], ...]:
+    attributes: list[tuple[str, object]] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        while i < n and text[i].isspace():
+            i += 1
+        if i >= n or text[i] == "/":
+            break
+        eq = text.find("=", i)
+        if eq == -1:
+            raise XQueryError(f"malformed constructor attribute near {position}")
+        name = text[i:eq].strip()
+        quote = text[eq + 1]
+        if quote not in "\"'":
+            raise XQueryError(f"unquoted constructor attribute near {position}")
+        end = text.find(quote, eq + 2)
+        if end == -1:
+            raise XQueryError(f"unterminated constructor attribute near {position}")
+        raw = text[eq + 2 : end]
+        if raw.startswith("{") and raw.endswith("}"):
+            inner = _Parser(_tokenize(raw[1:-1])).parse()
+            attributes.append((name, inner))
+        else:
+            attributes.append((name, raw))
+        i = end + 1
+    return tuple(attributes)
+
+
+# ----------------------------------------------------------------------
+# Evaluator
+# ----------------------------------------------------------------------
+def _string_value(item) -> str:
+    if isinstance(item, Element):
+        return item.text_content()
+    if isinstance(item, float):
+        return f"{item:g}"
+    return str(item)
+
+
+def _effective_boolean(value: Value) -> bool:
+    if not value:
+        return False
+    first = value[0]
+    if isinstance(first, Element):
+        return True
+    if len(value) == 1:
+        if isinstance(first, bool):
+            return first
+        if isinstance(first, str):
+            return bool(first)
+        if isinstance(first, float):
+            return first != 0
+    return True
+
+
+class XQuery:
+    """A compiled query, evaluated against a context document."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._ast = _Parser(_tokenize(source)).parse()
+
+    def evaluate(
+        self,
+        document: Document | Element | None = None,
+        variables: Optional[dict[str, Value]] = None,
+    ) -> Value:
+        """Run the query; ``$doc`` is bound to the context document."""
+        environment: dict[str, Value] = dict(variables or {})
+        if document is not None:
+            if isinstance(document, Element):
+                document = Document(document)
+            # $doc is the *document node*: "$doc/root/..." selects from
+            # the root element downward, as in any XQuery processor.
+            environment.setdefault("doc", [document])
+        return self._eval(self._ast, environment)
+
+    # -- dispatch ------------------------------------------------------
+    def _eval(self, node, env: dict[str, Value]) -> Value:
+        handler: Callable = getattr(self, f"_eval_{type(node).__name__.lstrip('_').lower()}")
+        return handler(node, env)
+
+    def _eval_flwor(self, node: _Flwor, env: dict[str, Value]) -> Value:
+        results: list = []
+
+        def recurse(binding_index: int, scope: dict[str, Value]) -> None:
+            if binding_index == len(node.bindings):
+                if node.where is not None and not _effective_boolean(
+                    self._eval(node.where, scope)
+                ):
+                    return
+                results.extend(self._eval(node.result, scope))
+                return
+            kind, variable, expr = node.bindings[binding_index]
+            value = self._eval(expr, scope)
+            if kind == "let":
+                recurse(binding_index + 1, {**scope, variable: value})
+            else:
+                for item in value:
+                    recurse(binding_index + 1, {**scope, variable: [item]})
+
+        recurse(0, env)
+        return results
+
+    def _eval_path(self, node: _Path, env: dict[str, Value]) -> Value:
+        if node.variable is not None:
+            try:
+                base = env[node.variable]
+            except KeyError:
+                raise XQueryError(f"unbound variable ${node.variable}") from None
+            if not node.path:
+                return [
+                    item.root if isinstance(item, Document) else item
+                    for item in base
+                ]
+            relative = compile_path("./" + node.path)
+            absolute = compile_path("/" + node.path)
+            out: list = []
+            for item in base:
+                if isinstance(item, Document):
+                    out.extend(absolute.select(item))
+                elif isinstance(item, Element):
+                    out.extend(relative.select(item))
+            return out
+        context = env.get("doc")
+        if not context or not isinstance(context[0], (Element, Document)):
+            raise XQueryError("absolute path used without a context document")
+        return compile_path(node.path).select(context[0])
+
+    def _eval_literal(self, node: _Literal, env: dict[str, Value]) -> Value:
+        return [node.value]
+
+    def _eval_sequence(self, node: _Sequence, env: dict[str, Value]) -> Value:
+        out: list = []
+        for item in node.items:
+            out.extend(self._eval(item, env))
+        return out
+
+    def _eval_call(self, node: _Call, env: dict[str, Value]) -> Value:
+        args = [self._eval(argument, env) for argument in node.args]
+        if node.name == "string":
+            value = args[0] if args else []
+            return ["".join(_string_value(item) for item in value[:1])]
+        if node.name == "data":
+            return [_string_value(item) for item in (args[0] if args else [])]
+        if node.name == "path":
+            value = args[0] if args else []
+            if value and isinstance(value[0], Element):
+                return [value[0].absolute_path()]
+            return [""]
+        if node.name == "count":
+            return [float(len(args[0] if args else []))]
+        if node.name == "concat":
+            return [
+                "".join(
+                    _string_value(item) for argument in args for item in argument
+                )
+            ]
+        if node.name == "exists":
+            return [_effective_boolean(args[0] if args else [])]
+        raise XQueryError(f"unsupported function fn:{node.name}()")
+
+    def _eval_compare(self, node: _Compare, env: dict[str, Value]) -> Value:
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        # General comparison: true if any pair of items satisfies it.
+        for a in left:
+            for b in right:
+                if _compare_items(node.op, a, b):
+                    return [True]
+        return [False]
+
+    def _eval_logical(self, node: _Logical, env: dict[str, Value]) -> Value:
+        if node.op == "and":
+            return [
+                all(
+                    _effective_boolean(self._eval(op, env)) for op in node.operands
+                )
+            ]
+        return [
+            any(_effective_boolean(self._eval(op, env)) for op in node.operands)
+        ]
+
+    def _eval_constructor(self, node: _Constructor, env: dict[str, Value]) -> Value:
+        element = Element(node.tag)
+        for name, value in node.attributes:
+            if isinstance(value, str):
+                element.attributes[name] = value
+            else:
+                parts = self._eval(value, env)
+                element.attributes[name] = "".join(
+                    _string_value(item) for item in parts
+                )
+        for item in node.content:
+            if isinstance(item, _Literal):
+                element.append(str(item.value))
+            else:
+                for produced in self._eval(item, env):
+                    if isinstance(produced, Element):
+                        # Copy: constructed trees must not steal nodes.
+                        element.append(produced.copy())
+                    else:
+                        element.append(_string_value(produced))
+        return [element]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XQuery {self.source[:40]!r}...>"
+
+
+def _compare_items(op: str, a, b) -> bool:
+    left = _string_value(a)
+    right = _string_value(b)
+    try:
+        left_num = float(left)
+        right_num = float(right)
+        left, right = left_num, right_num  # numeric comparison when possible
+    except ValueError:
+        pass
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    return left >= right
+
+
+def execute(source: str, document: Document | Element | None = None, **variables) -> Value:
+    """One-shot: compile and evaluate an XQuery string."""
+    bound = {name: value if isinstance(value, list) else [value]
+             for name, value in variables.items()}
+    return XQuery(source).evaluate(document, bound)

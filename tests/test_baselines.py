@@ -1,0 +1,253 @@
+"""Baseline comparator tests."""
+
+import pytest
+
+from repro.baselines import (
+    ContainmentSimilarity,
+    DelphiClassifier,
+    SortedNeighborhood,
+    TreeEditClassifier,
+    TreeEditSimilarity,
+    VectorSpaceSimilarity,
+    default_key,
+    hierarchical_prune,
+    normalized_tree_distance,
+    size_lower_bound,
+    tree_edit_distance,
+)
+from repro.core import CorpusIndex
+from repro.framework import DUPLICATES, NON_DUPLICATES, TypeMapping, od_from_pairs
+from repro.xmlkit import parse
+
+
+@pytest.fixture()
+def simple_ods():
+    return [
+        od_from_pairs(0, [("The Matrix", "/d/m[1]/t"), ("1999", "/d/m[1]/y")]),
+        od_from_pairs(1, [("Matrix", "/d/m[2]/t"), ("1999", "/d/m[2]/y")]),
+        od_from_pairs(2, [("Signs", "/d/m[3]/t"), ("2002", "/d/m[3]/y")]),
+        od_from_pairs(3, [("Heat", "/d/m[4]/t"), ("1995", "/d/m[4]/y")]),
+    ]
+
+
+class TestSortedNeighborhood:
+    def test_window_limits_pairs(self, simple_ods):
+        snm = SortedNeighborhood(window=2)
+        pairs = list(snm.pairs(simple_ods))
+        # window 2 over 4 sorted records -> 3 adjacent pairs
+        assert len(pairs) == 3
+
+    def test_full_window_is_all_pairs(self, simple_ods):
+        snm = SortedNeighborhood(window=4)
+        assert len(list(snm.pairs(simple_ods))) == 6
+
+    def test_similar_keys_adjacent(self, simple_ods):
+        snm = SortedNeighborhood(window=2)
+        # "The Matrix..." and "Matrix..." keys start differently -- the
+        # known weakness -- but Matrix/Signs/Heat sort deterministically.
+        pairs = set(snm.pairs(simple_ods))
+        assert all(a < b for a, b in pairs)
+
+    def test_multi_pass_adds_pairs(self, simple_ods):
+        single = set(SortedNeighborhood(window=2, passes=1).pairs(simple_ods))
+        multi = set(SortedNeighborhood(window=2, passes=3).pairs(simple_ods))
+        assert single <= multi
+
+    def test_no_duplicate_pairs(self, simple_ods):
+        pairs = list(SortedNeighborhood(window=3, passes=2).pairs(simple_ods))
+        assert len(pairs) == len(set(pairs))
+
+    def test_default_key_normalizes(self):
+        od = od_from_pairs(0, [("The  MATRIX", "/d/m[1]/t")])
+        assert default_key(od) == "the "
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhood(window=1)
+        with pytest.raises(ValueError):
+            SortedNeighborhood(window=3, passes=0)
+
+
+class TestContainment:
+    @pytest.fixture()
+    def index(self, simple_ods):
+        return CorpusIndex(simple_ods, TypeMapping(), theta_tuple=0.5)
+
+    def test_subset_fully_contained(self, index):
+        small = od_from_pairs(10, [("1999", "/d/m[5]/y")])
+        big = od_from_pairs(11, [("1999", "/d/m[6]/y"), ("Dune", "/d/m[6]/t")])
+        measure = ContainmentSimilarity(index)
+        assert measure.containment(small, big) == 1.0
+        assert measure.containment(big, small) < 1.0
+
+    def test_asymmetry(self, index, simple_ods):
+        measure = ContainmentSimilarity(index)
+        small = od_from_pairs(10, [("Matrix", "/d/m[5]/t")])
+        assert measure.containment(small, simple_ods[0]) != pytest.approx(
+            measure.containment(simple_ods[0], small)
+        )
+
+    def test_similarity_is_max(self, index, simple_ods):
+        measure = ContainmentSimilarity(index)
+        small = od_from_pairs(10, [("Matrix", "/d/m[5]/t")])
+        assert measure.similarity(small, simple_ods[0]) == max(
+            measure.containment(small, simple_ods[0]),
+            measure.containment(simple_ods[0], small),
+        )
+
+    def test_empty_od(self, index, simple_ods):
+        measure = ContainmentSimilarity(index)
+        empty = od_from_pairs(10, [])
+        assert measure.containment(empty, simple_ods[0]) == 0.0
+
+    def test_classifier(self, index, simple_ods):
+        classifier = DelphiClassifier(ContainmentSimilarity(index), 0.5)
+        assert classifier.classify(simple_ods[0], simple_ods[1]) == DUPLICATES
+        assert classifier.classify(simple_ods[0], simple_ods[2]) == NON_DUPLICATES
+
+    def test_classifier_bad_threshold(self, index):
+        with pytest.raises(ValueError):
+            DelphiClassifier(ContainmentSimilarity(index), 2.0)
+
+
+class TestHierarchicalPrune:
+    def test_keeps_children_of_duplicate_parents(self):
+        kept = hierarchical_prune(
+            child_pairs=[(0, 1), (2, 3), (4, 5)],
+            parent_of={0: 10, 1: 11, 2: 10, 3: 12, 4: 10, 5: 10},
+            parent_duplicates={(10, 11)},
+        )
+        assert kept == [(0, 1), (4, 5)]  # (2,3): parents 10,12 not dups
+
+    def test_unknown_parent_dropped(self):
+        assert hierarchical_prune([(0, 1)], {0: 10}, set()) == []
+
+
+class TestTreeEditDistance:
+    def test_identical_trees(self):
+        a = parse("<m><t>X</t><y>1</y></m>").root
+        assert tree_edit_distance(a, a.copy()) == 0.0
+
+    def test_single_rename(self):
+        a = parse("<m><t>abcd</t></m>").root
+        b = parse("<m><t>abcx</t></m>").root
+        assert tree_edit_distance(a, b) == pytest.approx(0.25)  # ned of text
+
+    def test_tag_mismatch_costs_one(self):
+        a = parse("<m><t>same</t></m>").root
+        b = parse("<m><u>same</u></m>").root
+        assert tree_edit_distance(a, b) == 1.0
+
+    def test_insertion(self):
+        a = parse("<m><t>x</t></m>").root
+        b = parse("<m><t>x</t><extra>y</extra></m>").root
+        assert tree_edit_distance(a, b) == 1.0
+
+    def test_symmetry(self):
+        a = parse("<m><t>abc</t><y>1999</y></m>").root
+        b = parse("<m><t>abd</t><z>w</z><y>2001</y></m>").root
+        assert tree_edit_distance(a, b) == pytest.approx(tree_edit_distance(b, a))
+
+    def test_triangle_inequality_spot(self):
+        a = parse("<m><t>aaa</t></m>").root
+        b = parse("<m><t>bbb</t></m>").root
+        c = parse("<m><t>ab</t><x>1</x></m>").root
+        assert tree_edit_distance(a, b) <= (
+            tree_edit_distance(a, c) + tree_edit_distance(c, b) + 1e-9
+        )
+
+    def test_deep_vs_flat(self):
+        flat = parse("<r><a>1</a><b>2</b></r>").root
+        deep = parse("<r><w><a>1</a><b>2</b></w></r>").root
+        assert tree_edit_distance(flat, deep) == 1.0  # insert wrapper
+
+    def test_size_lower_bound(self):
+        a = parse("<r><a>1</a></r>").root
+        b = parse("<r><a>1</a><b>2</b><c>3</c></r>").root
+        assert size_lower_bound(a, b) == 2
+        assert size_lower_bound(a, b) <= tree_edit_distance(a, b)
+
+    def test_normalized_range(self):
+        a = parse("<r><a>1</a></r>").root
+        b = parse("<x><q>zz</q><w>yy</w></x>").root
+        assert 0.0 <= normalized_tree_distance(a, b) <= 1.0
+
+
+class TestTreeEditSimilarity:
+    def test_similarity_of_near_duplicates(self):
+        doc = parse(
+            "<db><m><t>The Matrix</t><y>1999</y></m>"
+            "<m><t>The Matrlx</t><y>1999</y></m></db>"
+        )
+        movies = doc.root.find_all("m")
+        ods = [
+            od_from_pairs(i, [(c.text, c.generic_path()) for c in m.children])
+            for i, m in enumerate(movies)
+        ]
+        ods[0].element, ods[1].element = movies[0], movies[1]
+        measure = TreeEditSimilarity()
+        assert measure(ods[0], ods[1]) > 0.9
+
+    def test_bound_skip_counted(self):
+        big = parse("<m>" + "".join(f"<t{i}>v</t{i}>" for i in range(10)) + "</m>")
+        small = parse("<m><t0>v</t0></m>")
+        od_big = od_from_pairs(0, [])
+        od_small = od_from_pairs(1, [])
+        od_big.element = big.root
+        od_small.element = small.root
+        measure = TreeEditSimilarity(threshold_hint=0.9)
+        assert measure(od_big, od_small) == 0.0
+        assert measure.bound_skips == 1
+        assert measure.full_computations == 0
+
+    def test_classifier(self):
+        doc = parse(
+            "<db><m><t>Same</t></m><m><t>Same</t></m><m><t>Other!</t></m></db>"
+        )
+        movies = doc.root.find_all("m")
+        ods = []
+        for i, m in enumerate(movies):
+            od = od_from_pairs(i, [])
+            od.element = m
+            ods.append(od)
+        classifier = TreeEditClassifier(0.8)
+        assert classifier.classify(ods[0], ods[1]) == DUPLICATES
+        assert classifier.classify(ods[0], ods[2]) == NON_DUPLICATES
+
+
+class TestVectorSpace:
+    def test_identical_score_one(self, simple_ods):
+        vsm = VectorSpaceSimilarity(simple_ods)
+        assert vsm(simple_ods[0], simple_ods[0]) == pytest.approx(1.0)
+
+    def test_disjoint_score_zero(self, simple_ods):
+        vsm = VectorSpaceSimilarity(simple_ods)
+        assert vsm(simple_ods[0], simple_ods[2]) == 0.0
+
+    def test_partial_overlap(self, simple_ods):
+        vsm = VectorSpaceSimilarity(simple_ods)
+        score = vsm(simple_ods[0], simple_ods[1])
+        assert 0.0 < score < 1.0
+
+    def test_symmetry(self, simple_ods):
+        vsm = VectorSpaceSimilarity(simple_ods)
+        assert vsm(simple_ods[0], simple_ods[1]) == pytest.approx(
+            vsm(simple_ods[1], simple_ods[0])
+        )
+
+    def test_field_aware_distinguishes_kinds(self):
+        mapping = TypeMapping().add("T", "/d/t").add("Y", "/d/y")
+        ods = [
+            od_from_pairs(0, [("1999", "/d/t")]),   # 1999 as a title
+            od_from_pairs(1, [("1999", "/d/y")]),   # 1999 as a year
+            od_from_pairs(2, [("other", "/d/t")]),
+        ]
+        flat = VectorSpaceSimilarity(ods)
+        aware = VectorSpaceSimilarity(ods, mapping, field_aware=True)
+        assert flat(ods[0], ods[1]) > 0.0
+        assert aware(ods[0], ods[1]) == 0.0
+
+    def test_unknown_object_scores_zero(self, simple_ods):
+        vsm = VectorSpaceSimilarity(simple_ods[:2])
+        foreign = od_from_pairs(99, [("Matrix", "/d/m/t")])
+        assert vsm(simple_ods[0], foreign) == 0.0

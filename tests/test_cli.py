@@ -1,0 +1,130 @@
+"""CLI tests (in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main, build_parser, _parse_heuristic, _parse_condition
+from repro.core import KClosestDescendants, RDistantDescendants
+from repro.datagen import PAPER_EXAMPLE_XML, PAPER_EXAMPLE_XSD, paper_example_mapping
+from repro.xmlkit import parse
+
+
+@pytest.fixture()
+def example_files(tmp_path):
+    document = tmp_path / "movies.xml"
+    document.write_text(PAPER_EXAMPLE_XML, encoding="utf-8")
+    schema = tmp_path / "movies.xsd"
+    schema.write_text(PAPER_EXAMPLE_XSD, encoding="utf-8")
+    mapping = tmp_path / "mapping.xml"
+    mapping.write_text(paper_example_mapping().to_xml(), encoding="utf-8")
+    return document, schema, mapping
+
+
+class TestArgumentParsing:
+    def test_heuristic_kclosest(self):
+        heuristic = _parse_heuristic("kclosest:6")
+        assert isinstance(heuristic, KClosestDescendants)
+        assert heuristic.k == 6
+
+    def test_heuristic_rdistant(self):
+        heuristic = _parse_heuristic("rdistant:2")
+        assert isinstance(heuristic, RDistantDescendants)
+        assert heuristic.radius == 2
+
+    def test_heuristic_union(self):
+        heuristic = _parse_heuristic("rdistant:1+ancestors:1")
+        from repro.core import CombinedHeuristic
+
+        assert isinstance(heuristic, CombinedHeuristic)
+        assert heuristic.operator == "or"
+
+    def test_heuristic_malformed(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_heuristic("kclosest")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_heuristic("nope:3")
+
+    def test_conditions(self):
+        assert _parse_condition(None) is None
+        assert _parse_condition("sdt") is not None
+        combined = _parse_condition("sdt,me,se")
+        assert combined is not None
+
+    def test_conditions_unknown(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_condition("sdt,zzz")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDedupCommand:
+    def test_dedup_to_stdout(self, example_files, capsys):
+        document, schema, mapping = example_files
+        code = main([
+            "dedup", str(document),
+            "--mapping", str(mapping),
+            "--type", "MOVIE",
+            "--schema", str(schema),
+            "--heuristic", "rdistant:2",
+            "--theta-tuple", "0.55",
+            "--no-filter",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        result = parse(out)
+        assert result.root.tag == "dupclusters"
+        (cluster,) = result.root.find_all("dupcluster")
+        assert len(cluster.find_all("duplicate")) == 2
+
+    def test_dedup_to_file(self, example_files, tmp_path, capsys):
+        document, schema, mapping = example_files
+        output = tmp_path / "out.xml"
+        code = main([
+            "dedup", str(document),
+            "--mapping", str(mapping),
+            "--type", "MOVIE",
+            "--theta-tuple", "0.55",
+            "--output", str(output),
+        ])
+        assert code == 0
+        assert parse(output.read_text()).root.tag == "dupclusters"
+
+    def test_dedup_explain(self, example_files, capsys):
+        document, schema, mapping = example_files
+        code = main([
+            "dedup", str(document),
+            "--mapping", str(mapping),
+            "--type", "MOVIE",
+            "--theta-tuple", "0.55",
+            "--no-filter",
+            "--explain",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "similar:" in err
+
+
+class TestSuggestCommand:
+    def test_suggest_with_inferred_schema(self, example_files, capsys):
+        document, _, _ = example_files
+        assert main(["suggest", str(document)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("/moviedoc/movie")
+
+    def test_suggest_with_xsd(self, example_files, capsys):
+        document, schema, _ = example_files
+        assert main(["suggest", str(document), "--schema", str(schema)]) == 0
+        assert "/moviedoc/movie" in capsys.readouterr().out
+
+
+class TestExampleCommand:
+    def test_example_runs(self, capsys):
+        assert main(["example"]) == 0
+        captured = capsys.readouterr()
+        assert "dupclusters" in captured.out
+        assert "2 candidates" in captured.err or "3 candidates" in captured.err

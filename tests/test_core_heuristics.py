@@ -1,0 +1,242 @@
+"""Heuristic and condition tests (Section 4 of the paper)."""
+
+import pytest
+
+from repro.core import (
+    KClosestDescendants,
+    RDistantAncestors,
+    RDistantDescendants,
+    c_and,
+    c_cm,
+    c_me,
+    c_or,
+    c_sdt,
+    c_se,
+    h_and,
+    h_or,
+    refine,
+    relative_xpath,
+)
+from repro.datagen.freedb import cd_schema
+
+
+@pytest.fixture()
+def schema():
+    return cd_schema()
+
+
+@pytest.fixture()
+def disc(schema):
+    return schema.element_at("/freedb/disc")
+
+
+def names(elements):
+    return [e.name for e in elements]
+
+
+class TestRDistantDescendants:
+    def test_radius_one(self, disc):
+        assert names(RDistantDescendants(1).select(disc)) == [
+            "did", "artist", "title", "genre", "year", "cdextra", "tracks",
+        ]
+
+    def test_radius_two_adds_track_titles(self, disc):
+        selected = names(RDistantDescendants(2).select(disc))
+        assert selected[-1] == "title"
+        assert len(selected) == 8
+
+    def test_radius_beyond_depth_is_stable(self, disc):
+        assert RDistantDescendants(2).select(disc) == RDistantDescendants(
+            5
+        ).select(disc)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            RDistantDescendants(0)
+
+
+class TestKClosestDescendants:
+    def test_breadth_first_prefix(self, disc):
+        assert names(KClosestDescendants(3).select(disc)) == [
+            "did", "artist", "title",
+        ]
+
+    def test_k7_equals_r1(self, disc):
+        """The paper: k=7 selects the same elements as r=1."""
+        assert KClosestDescendants(7).select(disc) == RDistantDescendants(
+            1
+        ).select(disc)
+
+    def test_k8_equals_r2(self, disc):
+        assert KClosestDescendants(8).select(disc) == RDistantDescendants(
+            2
+        ).select(disc)
+
+    def test_k_larger_than_subtree(self, disc):
+        assert len(KClosestDescendants(50).select(disc)) == 8
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KClosestDescendants(0)
+
+
+class TestRDistantAncestors:
+    def test_parent_only(self, schema):
+        title = schema.element_at("/freedb/disc/tracks/title")
+        assert names(RDistantAncestors(1).select(title)) == ["tracks"]
+
+    def test_two_levels(self, schema):
+        title = schema.element_at("/freedb/disc/tracks/title")
+        assert names(RDistantAncestors(2).select(title)) == ["tracks", "disc"]
+
+    def test_radius_beyond_root(self, schema):
+        title = schema.element_at("/freedb/disc/tracks/title")
+        assert names(RDistantAncestors(10).select(title)) == [
+            "tracks", "disc", "freedb",
+        ]
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            RDistantAncestors(0)
+
+
+class TestCombinators:
+    def test_and_intersection(self, disc):
+        combined = h_and(KClosestDescendants(3), RDistantDescendants(1))
+        assert names(combined.select(disc)) == ["did", "artist", "title"]
+
+    def test_or_union_preserves_left_order(self, disc):
+        combined = h_or(KClosestDescendants(2), RDistantDescendants(1))
+        selected = names(combined.select(disc))
+        assert selected[:2] == ["did", "artist"]
+        assert set(selected) == {
+            "did", "artist", "title", "genre", "year", "cdextra", "tracks",
+        }
+
+    def test_ancestors_or_descendants(self, schema):
+        tracks = schema.element_at("/freedb/disc/tracks")
+        combined = h_or(RDistantAncestors(1), RDistantDescendants(1))
+        assert names(combined.select(tracks)) == ["disc", "title"]
+
+    def test_bad_operator(self):
+        from repro.core.heuristics import CombinedHeuristic
+
+        with pytest.raises(ValueError):
+            CombinedHeuristic(KClosestDescendants(1), KClosestDescendants(1), "xor")
+
+
+class TestRelativeXPath:
+    def test_child(self, schema, disc):
+        did = schema.element_at("/freedb/disc/did")
+        assert relative_xpath(disc, did) == "./did"
+
+    def test_grandchild(self, schema, disc):
+        title = schema.element_at("/freedb/disc/tracks/title")
+        assert relative_xpath(disc, title) == "./tracks/title"
+
+    def test_self(self, disc):
+        assert relative_xpath(disc, disc) == "."
+
+    def test_ancestor(self, schema, disc):
+        freedb = schema.element_at("/freedb")
+        assert relative_xpath(disc, freedb) == ".."
+        tracks_title = schema.element_at("/freedb/disc/tracks/title")
+        assert relative_xpath(tracks_title, disc) == "../.."
+
+    def test_unrelated_raises(self, schema):
+        did = schema.element_at("/freedb/disc/did")
+        year = schema.element_at("/freedb/disc/year")
+        with pytest.raises(ValueError):
+            relative_xpath(did, year)
+
+
+class TestConditions:
+    def test_c_cm(self, schema, disc):
+        assert c_cm(disc, schema.element_at("/freedb/disc/did"))
+        assert not c_cm(disc, schema.element_at("/freedb/disc/tracks"))
+
+    def test_c_sdt(self, schema, disc):
+        assert c_sdt(disc, schema.element_at("/freedb/disc/did"))
+        assert not c_sdt(disc, schema.element_at("/freedb/disc/year"))  # date
+        assert not c_sdt(disc, schema.element_at("/freedb/disc/tracks"))  # none
+
+    def test_c_me_descendants(self, schema, disc):
+        assert c_me(disc, schema.element_at("/freedb/disc/did"))
+        assert not c_me(disc, schema.element_at("/freedb/disc/genre"))
+        # tracks/title: both steps mandatory
+        assert c_me(disc, schema.element_at("/freedb/disc/tracks/title"))
+
+    def test_c_me_path_sensitivity(self):
+        """A mandatory element under an optional parent is not ME to e0."""
+        from repro.xmlkit import parse_schema
+
+        schema = parse_schema(
+            """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+            <xs:element name="r"><xs:complexType><xs:sequence>
+              <xs:element name="opt" minOccurs="0"><xs:complexType><xs:sequence>
+                <xs:element name="leaf" type="xs:string"/>
+              </xs:sequence></xs:complexType></xs:element>
+            </xs:sequence></xs:complexType></xs:element></xs:schema>"""
+        )
+        root = schema.element_at("/r")
+        leaf = schema.element_at("/r/opt/leaf")
+        assert not c_me(root, leaf)
+
+    def test_c_me_ancestor_axis(self, schema):
+        title = schema.element_at("/freedb/disc/tracks/title")
+        disc = schema.element_at("/freedb/disc")
+        assert c_me(title, disc)  # title and tracks are mandatory chains
+        genre = schema.element_at("/freedb/disc/genre")
+        assert not c_me(genre, disc)  # genre is optional -> loose relation
+
+    def test_c_se_descendants(self, schema, disc):
+        assert c_se(disc, schema.element_at("/freedb/disc/did"))
+        assert not c_se(disc, schema.element_at("/freedb/disc/artist"))
+        # tracks is SE but its title repeats -> not 1:1 with disc
+        assert not c_se(disc, schema.element_at("/freedb/disc/tracks/title"))
+
+    def test_c_se_ancestors_always(self, schema):
+        title = schema.element_at("/freedb/disc/tracks/title")
+        assert c_se(title, schema.element_at("/freedb/disc"))
+
+    def test_c_and(self, schema, disc):
+        condition = c_and(c_sdt, c_se)
+        assert condition(disc, schema.element_at("/freedb/disc/did"))
+        assert not condition(disc, schema.element_at("/freedb/disc/year"))
+        assert not condition(disc, schema.element_at("/freedb/disc/artist"))
+
+    def test_c_or(self, schema, disc):
+        condition = c_or(c_sdt, c_se)
+        assert condition(disc, schema.element_at("/freedb/disc/year"))  # SE
+        assert condition(disc, schema.element_at("/freedb/disc/artist"))  # string
+        # tracks is a singleton, so the OR admits it despite complex content
+        assert condition(disc, schema.element_at("/freedb/disc/tracks"))
+        # content-model OR string: tracks fails both
+        assert not c_or(c_cm, c_sdt)(disc, schema.element_at("/freedb/disc/tracks"))
+
+    def test_empty_combination_rejected(self):
+        with pytest.raises(ValueError):
+            c_and()
+        with pytest.raises(ValueError):
+            c_or()
+
+
+class TestDescriptionSelector:
+    def test_unconditioned(self, disc):
+        selector = refine(KClosestDescendants(2), None)
+        assert selector.select_xpaths(disc) == ["./did", "./artist"]
+
+    def test_condition_filters(self, disc):
+        selector = refine(KClosestDescendants(8), c_and(c_sdt, c_se, c_me))
+        assert selector.select_xpaths(disc) == ["./did"]  # exp8 on Table 5
+
+    def test_description_definition(self, disc):
+        selector = refine(KClosestDescendants(3), None)
+        definition = selector.description_definition(disc)
+        assert definition.xpaths == ("./did", "./artist", "./title")
+
+    def test_paper_exp7_selection(self, disc):
+        """exp7 = h[c_me ∧ c_se]: did, year (+tracks, dropped only at OD
+        generation since complex elements have no text)."""
+        selector = refine(KClosestDescendants(8), c_and(c_me, c_se))
+        assert selector.select_xpaths(disc) == ["./did", "./year", "./tracks"]

@@ -1,0 +1,145 @@
+"""CorpusIndex and object-filter tests."""
+
+import pytest
+
+from repro.core import CorpusIndex, DogmatixSimilarity, ObjectFilter
+from repro.framework import TypeMapping, od_from_pairs
+
+
+@pytest.fixture()
+def mapping():
+    return TypeMapping().add("NAME", "/db/rec/name").add("CODE", "/db/rec/code")
+
+
+@pytest.fixture()
+def ods(mapping):
+    return [
+        od_from_pairs(0, [("alpha", "/db/rec[1]/name"), ("X1", "/db/rec[1]/code")]),
+        od_from_pairs(1, [("alphq", "/db/rec[2]/name"), ("X1", "/db/rec[2]/code")]),
+        od_from_pairs(2, [("gamma", "/db/rec[3]/name"), ("Z9", "/db/rec[3]/code")]),
+        od_from_pairs(3, [("delta", "/db/rec[4]/name")]),
+    ]
+
+
+@pytest.fixture()
+def index(ods, mapping):
+    return CorpusIndex(ods, mapping, theta_tuple=0.25)
+
+
+class TestCorpusIndex:
+    def test_occurrences(self, index):
+        assert index.occurrences("CODE", "X1") == {0, 1}
+        assert index.occurrences("CODE", "Z9") == {2}
+        assert index.occurrences("CODE", "nope") == set()
+
+    def test_objects_with_key(self, index):
+        assert index.objects_with_key("CODE") == {0, 1, 2}
+        assert index.objects_with_key("NAME") == {0, 1, 2, 3}
+        assert index.objects_with_key("OTHER") == set()
+
+    def test_similar_values(self, index):
+        # ned(alpha, alphq) = 0.2 < 0.25
+        assert set(index.similar_values("NAME", "alpha")) == {"alpha", "alphq"}
+        assert index.similar_values("NAME", "gamma") == ["gamma"]
+
+    def test_similar_values_cached(self, index):
+        first = index.similar_values("NAME", "alpha")
+        assert index.similar_values("NAME", "alpha") is first
+
+    def test_objects_with_similar(self, index):
+        assert index.objects_with_similar("NAME", "alpha") == {0, 1}
+        assert index.objects_with_similar("NAME", "alpha", exclude=0) == {1}
+
+    def test_block_keys_pair_similar_objects(self, index, ods):
+        keys_0 = set(index.block_keys(ods[0]))
+        keys_1 = set(index.block_keys(ods[1]))
+        assert keys_0 & keys_1  # share at least one block
+
+    def test_block_keys_disjoint_objects(self, index, ods):
+        keys_2 = set(index.block_keys(ods[2]))
+        keys_3 = set(index.block_keys(ods[3]))
+        assert not (keys_2 & keys_3)
+
+    def test_statistics(self, index):
+        stats = index.statistics()
+        assert stats["objects"] == 4
+        assert stats["kinds"] == 2
+        assert stats["terms"] == 6  # 4 names + 2 distinct codes
+
+    def test_invalid_theta(self, ods, mapping):
+        with pytest.raises(ValueError):
+            CorpusIndex(ods, mapping, theta_tuple=1.5)
+
+    def test_pair_idf_canonical_order(self, index):
+        forward = index.pair_idf("NAME", "alpha", "NAME", "alphq")
+        backward = index.pair_idf("NAME", "alphq", "NAME", "alpha")
+        assert forward == backward
+
+
+class TestObjectFilter:
+    def test_scores_in_range(self, index, ods):
+        object_filter = ObjectFilter(index, 0.55)
+        for od in ods:
+            assert 0.0 <= object_filter.score(od) <= 1.0
+
+    def test_shared_object_kept(self, index, ods):
+        object_filter = ObjectFilter(index, 0.55)
+        # objects 0 and 1 share name (similar) and code (equal)
+        assert object_filter.keep(ods[0])
+        assert object_filter.keep(ods[1])
+
+    def test_unique_object_pruned(self, index, ods):
+        object_filter = ObjectFilter(index, 0.55)
+        # object 2 shares nothing similar with anyone
+        assert not object_filter.keep(ods[2])
+        assert not object_filter.keep(ods[3])
+
+    def test_decisions_recorded(self, index, ods):
+        object_filter = ObjectFilter(index, 0.55)
+        for od in ods:
+            object_filter.keep(od)
+        assert len(object_filter.decisions) == 4
+        assert object_filter.pruned_count == 2
+
+    def test_kind_unspecified_elsewhere_is_neutral(self, mapping):
+        ods = [
+            od_from_pairs(0, [("alpha", "/db/rec[1]/name"),
+                              ("only-here", "/db/rec[1]/code")]),
+            od_from_pairs(1, [("alpha", "/db/rec[2]/name")]),
+            od_from_pairs(2, [("omega", "/db/rec[3]/name")]),
+        ]
+        index = CorpusIndex(ods, mapping, 0.25)
+        object_filter = ObjectFilter(index, 0.55)
+        # object 0's code exists in no other object: neither shared nor
+        # unique -> f driven by the shared name alone -> kept
+        decision = object_filter.decide(ods[0])
+        assert decision.kept
+        assert decision.unique_idf == 0.0
+
+    def test_filter_bound_is_heuristic(self, movie_ods, movie_mapping):
+        """The paper calls f an upper bound of sim; DESIGN.md documents
+        it as heuristic, and the running example is the witness: movie 1
+        has unique data (L. Fishburne, Neo, Morpheus), so f(OD_1) < 1,
+        yet sim(OD_1, OD_2) = 1 because nothing *both* specify differs.
+        Crucially the filter still must not prune OD_1 at θ_cand."""
+        index = CorpusIndex(movie_ods, movie_mapping, 0.55)
+        similarity = DogmatixSimilarity(index)
+        object_filter = ObjectFilter(index, 0.55)
+        f_1 = object_filter.score(movie_ods[0])
+        assert similarity(movie_ods[0], movie_ods[1]) == 1.0
+        assert f_1 < 1.0  # the bound is violated by design here...
+        assert f_1 > 0.55  # ...but the filter keeps the object anyway
+
+    def test_filter_bound_holds_without_unique_data(self, movie_ods, movie_mapping):
+        """For the object whose data is fully mirrored (movie 2), f is a
+        true upper bound of every sim involving it."""
+        index = CorpusIndex(movie_ods, movie_mapping, 0.55)
+        similarity = DogmatixSimilarity(index)
+        object_filter = ObjectFilter(index, 0.55)
+        f_2 = object_filter.score(movie_ods[1])
+        for other in (movie_ods[0], movie_ods[2]):
+            assert f_2 >= similarity(movie_ods[1], other) - 1e-9
+
+    def test_invalid_threshold(self, index):
+        with pytest.raises(ValueError):
+            ObjectFilter(index, -0.1)

@@ -1,0 +1,295 @@
+"""Similarity machinery tests: odtDist, matching, softIDF, sim."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CorpusIndex,
+    DogmatixSimilarity,
+    match_tuples,
+    odt_dist,
+    odt_similar,
+    set_soft_idf,
+    similar_pairs_exist,
+    singleton_soft_idf,
+    soft_idf,
+)
+from repro.framework import ODTuple, TypeMapping, od_from_pairs
+
+
+@pytest.fixture()
+def mapping():
+    return (
+        TypeMapping()
+        .add("TITLE", ["/db/movie/title", "/db/film/name"])
+        .add("CITY", "/db/country/city")
+    )
+
+
+class TestOdtDist:
+    def test_incomparable_distance_one(self, mapping):
+        a = ODTuple("The Matrix", "/db/movie[1]/title")
+        b = ODTuple("The Matrix", "/db/movie[1]/review")
+        assert odt_dist(a, b, mapping) == 1.0
+
+    def test_comparable_uses_ned(self, mapping):
+        a = ODTuple("The Matrix", "/db/movie[1]/title")
+        b = ODTuple("Matrix", "/db/film[3]/name")
+        assert odt_dist(a, b, mapping) == pytest.approx(0.4)
+
+    def test_equal_values(self, mapping):
+        a = ODTuple("X", "/db/movie[1]/title")
+        b = ODTuple("X", "/db/movie[2]/title")
+        assert odt_dist(a, b, mapping) == 0.0
+
+    def test_odt_similar_strict(self, mapping):
+        a = ODTuple("abcdefgh", "/db/movie[1]/title")
+        b = ODTuple("abcdefgx", "/db/movie[2]/title")
+        # ned = 0.125
+        assert odt_similar(a, b, mapping, 0.15)
+        assert not odt_similar(a, b, mapping, 0.125)
+
+    def test_odt_similar_incomparable(self, mapping):
+        a = ODTuple("same", "/db/movie/title")
+        b = ODTuple("same", "/db/other")
+        assert not odt_similar(a, b, mapping, 0.99)
+
+
+class TestMatchTuples:
+    def test_paper_countries_example(self, mapping):
+        """Countries with cities (NY, LA, Miami) vs (Miami, Boston):
+        one similar pair, one contradictory pair (highest distance),
+        one non-specified leftover."""
+        left = od_from_pairs(
+            0,
+            [
+                ("New York", "/db/country[1]/city"),
+                ("Los Angeles", "/db/country[1]/city"),
+                ("Miami", "/db/country[1]/city"),
+            ],
+        )
+        right = od_from_pairs(
+            1,
+            [
+                ("Miami", "/db/country[2]/city"),
+                ("Boston", "/db/country[2]/city"),
+            ],
+        )
+        result = match_tuples(left, right, mapping, 0.15)
+        assert [(a.value, b.value) for a, b in result.similar] == [
+            ("Miami", "Miami")
+        ]
+        # The paper selects (Boston, New York): odtDist 7/8 beats 8/11.
+        assert [(a.value, b.value) for a, b in result.contradictory] == [
+            ("New York", "Boston")
+        ]
+        assert [t.value for t in result.non_specified_left] == ["Los Angeles"]
+        assert result.non_specified_right == []
+
+    def test_incomparable_kinds_non_specified(self, mapping):
+        left = od_from_pairs(0, [("great!", "/db/movie[1]/review")])
+        right = od_from_pairs(1, [("500", "/db/movie[2]/sold-number")])
+        result = match_tuples(left, right, mapping, 0.5)
+        assert result.similar == [] and result.contradictory == []
+        assert len(result.non_specified_left) == 1
+        assert len(result.non_specified_right) == 1
+
+    def test_one_to_one_similar_matching(self, mapping):
+        left = od_from_pairs(
+            0, [("Miami", "/db/country[1]/city"), ("Miami", "/db/country[1]/city")]
+        )
+        right = od_from_pairs(1, [("Miami", "/db/country[2]/city")])
+        result = match_tuples(left, right, mapping, 0.15)
+        assert len(result.similar) == 1
+        assert len(result.non_specified_left) == 1
+
+    def test_cross_schema_comparability(self, mapping):
+        left = od_from_pairs(0, [("The Matrix", "/db/movie[1]/title")])
+        right = od_from_pairs(1, [("The Matrix", "/db/film[2]/name")])
+        result = match_tuples(left, right, mapping, 0.15)
+        assert len(result.similar) == 1
+
+    def test_symmetry_of_counts(self, mapping):
+        left = od_from_pairs(
+            0,
+            [("New York", "/db/country[1]/city"), ("Miami", "/db/country[1]/city")],
+        )
+        right = od_from_pairs(
+            1,
+            [("Miami", "/db/country[2]/city"), ("Boston", "/db/country[2]/city")],
+        )
+        forward = match_tuples(left, right, mapping, 0.15)
+        backward = match_tuples(right, left, mapping, 0.15)
+        assert len(forward.similar) == len(backward.similar)
+        assert len(forward.contradictory) == len(backward.contradictory)
+
+    def test_similar_pairs_exist(self, mapping):
+        left = od_from_pairs(0, [("Miami", "/db/country[1]/city")])
+        right = od_from_pairs(1, [("Miami", "/db/country[2]/city")])
+        other = od_from_pairs(2, [("Boston", "/db/country[3]/city")])
+        assert similar_pairs_exist(left, right, mapping, 0.15)
+        assert not similar_pairs_exist(left, other, mapping, 0.15)
+
+
+class TestSoftIDF:
+    def make_index(self, mapping):
+        ods = [
+            od_from_pairs(0, [("The Matrix", "/db/movie[1]/title")]),
+            od_from_pairs(1, [("Matrix", "/db/movie[2]/title")]),
+            od_from_pairs(2, [("Matrix", "/db/film[1]/name")]),
+            od_from_pairs(3, [("Signs", "/db/movie[3]/title")]),
+        ]
+        return ods, CorpusIndex(ods, mapping, 0.15)
+
+    def test_singleton_idf(self, mapping):
+        ods, index = self.make_index(mapping)
+        unique = singleton_soft_idf(ODTuple("Signs", "/db/movie[3]/title"), index)
+        assert unique == pytest.approx(math.log(4 / 1))
+        shared = singleton_soft_idf(ODTuple("Matrix", "/db/movie[2]/title"), index)
+        # "Matrix" occurs as TITLE in objects 1 and 2 (movie + film paths)
+        assert shared == pytest.approx(math.log(4 / 2))
+
+    def test_pair_idf_unions_occurrences(self, mapping):
+        ods, index = self.make_index(mapping)
+        pair = soft_idf(
+            ODTuple("The Matrix", "/db/movie[1]/title"),
+            ODTuple("Matrix", "/db/movie[2]/title"),
+            index,
+        )
+        # O(The Matrix) = {0}, O(Matrix) = {1, 2} -> union 3 of 4
+        assert pair == pytest.approx(math.log(4 / 3))
+
+    def test_unseen_term_counts_once(self, mapping):
+        ods, index = self.make_index(mapping)
+        value = soft_idf(
+            ODTuple("Unknown", "/db/movie[9]/title"),
+            ODTuple("Unknown", "/db/movie[9]/title"),
+            index,
+        )
+        assert value == pytest.approx(math.log(4 / 1))
+
+    def test_ubiquitous_term_zero(self):
+        mapping = TypeMapping().add("T", "/d/x")
+        ods = [od_from_pairs(i, [("same", f"/d/x[{i}]")]) for i in range(3)]
+        # names normalize to /d/x -> all comparable
+        index = CorpusIndex(ods, mapping, 0.15)
+        assert singleton_soft_idf(ODTuple("same", "/d/x[0]"), index) == 0.0
+
+    def test_set_soft_idf_sums(self, mapping):
+        ods, index = self.make_index(mapping)
+        t0 = ODTuple("The Matrix", "/db/movie[1]/title")
+        t1 = ODTuple("Matrix", "/db/movie[2]/title")
+        total = set_soft_idf([(t0, t0), (t1, t1)], index)
+        assert total == pytest.approx(
+            singleton_soft_idf(t0, index) + singleton_soft_idf(t1, index)
+        )
+
+
+class TestDogmatixSimilarity:
+    @pytest.fixture()
+    def corpus(self, movie_ods, movie_mapping):
+        index = CorpusIndex(movie_ods, movie_mapping, 0.55)
+        return DogmatixSimilarity(index)
+
+    def test_paper_running_example(self, corpus, movie_ods):
+        """Movies 1-2 share title/year/actor, differ in nothing that
+        both specify; movie 3 shares nothing."""
+        sim_12 = corpus(movie_ods[0], movie_ods[1])
+        assert sim_12 == 1.0  # no contradictions: Fishburne is missing data
+        assert corpus(movie_ods[0], movie_ods[2]) == 0.0
+        assert corpus(movie_ods[1], movie_ods[2]) == 0.0
+
+    def test_symmetry(self, corpus, movie_ods):
+        for i in range(3):
+            for j in range(3):
+                assert corpus(movie_ods[i], movie_ods[j]) == pytest.approx(
+                    corpus(movie_ods[j], movie_ods[i])
+                )
+
+    def test_range(self, corpus, movie_ods):
+        for i in range(3):
+            for j in range(3):
+                assert 0.0 <= corpus(movie_ods[i], movie_ods[j]) <= 1.0
+
+    def test_self_similarity_one(self, corpus, movie_ods):
+        for od in movie_ods:
+            assert corpus(od, od) == 1.0
+
+    def test_contradiction_reduces(self, movie_mapping):
+        ods = [
+            od_from_pairs(0, [("The Matrix", "/moviedoc/movie[1]/title"),
+                              ("1999", "/moviedoc/movie[1]/year")]),
+            od_from_pairs(1, [("The Matrix", "/moviedoc/movie[2]/title"),
+                              ("2003", "/moviedoc/movie[2]/year")]),
+            # a third object keeps the shared title's IDF above zero
+            od_from_pairs(2, [("Signs", "/moviedoc/movie[3]/title"),
+                              ("2002", "/moviedoc/movie[3]/year")]),
+        ]
+        index = CorpusIndex(ods, movie_mapping, 0.15)
+        similarity = DogmatixSimilarity(index)
+        score = similarity(ods[0], ods[1])
+        assert 0.0 < score < 1.0
+
+    def test_empty_ods_zero(self, corpus):
+        empty = od_from_pairs(7, [])
+        assert corpus(empty, empty) == 0.0
+
+    def test_explain_structure(self, corpus, movie_ods):
+        explanation = corpus.explain(movie_ods[0], movie_ods[1])
+        assert explanation["similarity"] == 1.0
+        assert len(explanation["similar_pairs"]) == 3
+        assert explanation["contradictory_pairs"] == []
+        assert len(explanation["non_specified_left"]) == 1  # L. Fishburne
+
+    def test_evaluations_counted(self, corpus, movie_ods):
+        before = corpus.evaluations
+        corpus(movie_ods[0], movie_ods[1])
+        assert corpus.evaluations == before + 1
+
+
+class TestSemantics:
+    def test_all_pairs_counts_every_sub_threshold_pair(self, movie_mapping):
+        from repro.core.matching import match_tuples
+        from repro.framework import od_from_pairs
+
+        left = od_from_pairs(
+            0,
+            [("Track 01", "/d/c[1]/t"), ("Track 02", "/d/c[1]/t")],
+        )
+        right = od_from_pairs(1, [("Track 01", "/d/c[2]/t")])
+        one_to_one = match_tuples(left, right, movie_mapping, 0.2)
+        literal = match_tuples(left, right, movie_mapping, 0.2,
+                               semantics="all-pairs")
+        assert len(one_to_one.similar) == 1
+        assert len(literal.similar) == 2  # both left tuples pair with right
+
+    def test_unknown_semantics_rejected(self, movie_mapping):
+        from repro.core.matching import match_tuples
+        from repro.framework import od_from_pairs
+
+        od = od_from_pairs(0, [("x", "/d/c[1]/t")])
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="semantics"):
+            match_tuples(od, od, movie_mapping, 0.2, semantics="fuzzy")
+
+    def test_config_validates_semantics(self):
+        import pytest as _pytest
+
+        from repro.core import DogmatixConfig
+
+        with _pytest.raises(ValueError, match="similar_semantics"):
+            DogmatixConfig(similar_semantics="loose")
+        assert DogmatixConfig(similar_semantics="all-pairs").similar_semantics == (
+            "all-pairs"
+        )
+
+    def test_similarity_still_bounded_under_all_pairs(self, movie_ods, movie_mapping):
+        from repro.core import CorpusIndex, DogmatixSimilarity
+
+        index = CorpusIndex(movie_ods, movie_mapping, 0.55)
+        literal = DogmatixSimilarity(index, semantics="all-pairs")
+        for i in range(3):
+            for j in range(3):
+                assert 0.0 <= literal(movie_ods[i], movie_ods[j]) <= 1.0

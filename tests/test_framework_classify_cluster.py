@@ -1,0 +1,181 @@
+"""Classifier, clustering, and pruning tests."""
+
+import pytest
+
+from repro.framework import (
+    DUPLICATES,
+    MatchingTuplesClassifier,
+    NON_DUPLICATES,
+    NoPruning,
+    ObjectFilterPruning,
+    POSSIBLE_DUPLICATES,
+    SharedTupleBlocking,
+    ThresholdClassifier,
+    UnionFind,
+    count_pairs,
+    duplicate_clusters,
+    od_from_pairs,
+)
+
+
+def fixed_similarity(value):
+    return lambda od_i, od_j: value
+
+
+class TestThresholdClassifier:
+    def test_above_threshold_is_duplicate(self):
+        classifier = ThresholdClassifier(fixed_similarity(0.8), 0.55)
+        od = od_from_pairs(0, [("a", "/x")])
+        assert classifier.classify(od, od) == DUPLICATES
+
+    def test_at_threshold_is_not(self):
+        classifier = ThresholdClassifier(fixed_similarity(0.55), 0.55)
+        od = od_from_pairs(0, [("a", "/x")])
+        assert classifier.classify(od, od) == NON_DUPLICATES
+
+    def test_possible_band(self):
+        classifier = ThresholdClassifier(
+            fixed_similarity(0.4), 0.55, possible_threshold=0.3
+        )
+        od = od_from_pairs(0, [("a", "/x")])
+        assert classifier.classify(od, od) == POSSIBLE_DUPLICATES
+
+    def test_score_and_classify(self):
+        classifier = ThresholdClassifier(fixed_similarity(0.7), 0.55)
+        od = od_from_pairs(0, [("a", "/x")])
+        assert classifier.score_and_classify(od, od) == (0.7, DUPLICATES)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            ThresholdClassifier(fixed_similarity(0), 1.5)
+        with pytest.raises(ValueError):
+            ThresholdClassifier(fixed_similarity(0), 0.5, possible_threshold=0.6)
+
+
+class TestMatchingTuplesClassifier:
+    def test_paper_example3(self, movie_ods):
+        """Movies 1 and 2 share half their tuples; movie 3 shares none."""
+        classifier = MatchingTuplesClassifier(0.5)
+        assert classifier.classify(movie_ods[0], movie_ods[1]) == DUPLICATES
+        assert classifier.classify(movie_ods[0], movie_ods[2]) == NON_DUPLICATES
+        assert classifier.classify(movie_ods[1], movie_ods[2]) == NON_DUPLICATES
+
+    def test_empty_od_never_duplicate(self):
+        classifier = MatchingTuplesClassifier()
+        empty = od_from_pairs(0, [])
+        other = od_from_pairs(1, [("a", "/x")])
+        assert classifier.classify(empty, other) == NON_DUPLICATES
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MatchingTuplesClassifier(0)
+        with pytest.raises(ValueError):
+            MatchingTuplesClassifier(1.1)
+
+
+class TestMatchingTuplesNote:
+    def test_positional_names_genericized(self, movie_ods):
+        # Raw tuples differ in their positional xpaths across movies;
+        # the classifier genericizes names, matching the paper's
+        # Table 2 representation.
+        set_0 = set(movie_ods[0].tuples)
+        set_1 = set(movie_ods[1].tuples)
+        assert not (set_0 & set_1)  # nothing exactly equal raw...
+        shared = MatchingTuplesClassifier._generic(
+            movie_ods[0]
+        ) & MatchingTuplesClassifier._generic(movie_ods[1])
+        assert shared == {
+            ("1999", "/moviedoc/movie/year"),
+            ("Keanu Reeves", "/moviedoc/movie/actor/name"),
+        }
+
+
+class TestUnionFind:
+    def test_initial_disjoint(self):
+        uf = UnionFind(3)
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.union(1, 0)  # already merged
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_groups(self):
+        uf = UnionFind(5)
+        uf.union(0, 3)
+        uf.union(1, 4)
+        groups = uf.groups()
+        assert sorted(map(sorted, groups)) == [[0, 3], [1, 4], [2]]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_large_chain(self):
+        uf = UnionFind(1000)
+        for i in range(999):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 999)
+        assert len(uf.groups()) == 1
+
+
+class TestDuplicateClusters:
+    def test_transitive_closure(self):
+        clusters = duplicate_clusters([(0, 1), (1, 2), (5, 6)], 8)
+        assert clusters == [[0, 1, 2], [5, 6]]
+
+    def test_singletons_excluded(self):
+        assert duplicate_clusters([], 5) == []
+
+    def test_explicit_universe(self):
+        clusters = duplicate_clusters([(10, 30)], [10, 20, 30])
+        assert clusters == [[10, 30]]
+
+    def test_order_by_smallest_member(self):
+        clusters = duplicate_clusters([(7, 8), (1, 2)], 10)
+        assert clusters == [[1, 2], [7, 8]]
+
+
+class TestPairSources:
+    def make_ods(self, n):
+        return [od_from_pairs(i, [(f"v{i}", "/x")]) for i in range(n)]
+
+    def test_no_pruning_all_pairs(self):
+        ods = self.make_ods(4)
+        pairs = list(NoPruning().pairs(ods))
+        assert len(pairs) == count_pairs(4) == 6
+        assert all(a < b for a, b in pairs)
+
+    def test_object_filter_pruning(self):
+        ods = self.make_ods(4)
+        source = ObjectFilterPruning(lambda od: od.object_id != 2)
+        pairs = list(source.pairs(ods))
+        assert (0, 1) in pairs
+        assert all(2 not in pair for pair in pairs)
+        assert source.pruned_ids == [2]
+
+    def test_blocking_pairs_only_within_blocks(self):
+        ods = self.make_ods(4)
+        blocks = {0: ["a"], 1: ["a"], 2: ["b"], 3: ["b", "a"]}
+        source = SharedTupleBlocking(lambda od: blocks[od.object_id])
+        pairs = set(source.pairs(ods))
+        assert pairs == {(0, 1), (0, 3), (1, 3), (2, 3)}
+
+    def test_blocking_no_duplicate_pairs(self):
+        ods = self.make_ods(3)
+        source = SharedTupleBlocking(lambda od: ["k1", "k2"])  # same keys
+        pairs = list(source.pairs(ods))
+        assert len(pairs) == len(set(pairs)) == 3
+
+    def test_filter_wrapping_blocking(self):
+        ods = self.make_ods(4)
+        inner = SharedTupleBlocking(lambda od: ["all"])
+        source = ObjectFilterPruning(lambda od: od.object_id < 3, inner=inner)
+        assert set(source.pairs(ods)) == {(0, 1), (0, 2), (1, 2)}

@@ -1,0 +1,135 @@
+"""OD model, candidate selection, and description generation tests."""
+
+import pytest
+
+from repro.framework import (
+    CandidateDefinition,
+    DescriptionDefinition,
+    ODTuple,
+    ObjectDescription,
+    TypeMapping,
+    generate_ods,
+    od_from_pairs,
+)
+from repro.xmlkit import parse
+
+
+class TestODTuple:
+    def test_fields(self):
+        odt = ODTuple("The Matrix", "/doc/movie[1]/title")
+        assert odt.value == "The Matrix"
+        assert odt.name == "/doc/movie[1]/title"
+
+    def test_equality_and_hash(self):
+        assert ODTuple("a", "/x") == ODTuple("a", "/x")
+        assert len({ODTuple("a", "/x"), ODTuple("a", "/x")}) == 1
+
+    def test_str(self):
+        assert str(ODTuple("1999", "year")) == "(1999, year)"
+
+
+class TestObjectDescription:
+    def test_iteration_and_len(self):
+        od = od_from_pairs(0, [("a", "/x"), ("b", "/y")])
+        assert len(od) == 2
+        assert [t.value for t in od] == ["a", "b"]
+
+    def test_values_and_names(self):
+        od = od_from_pairs(1, [("a", "/x"), ("b", "/y")])
+        assert od.values() == ["a", "b"]
+        assert od.names() == ["/x", "/y"]
+
+    def test_non_empty_drops_blank_values(self):
+        od = od_from_pairs(0, [("a", "/x"), ("", "/y")])
+        trimmed = od.non_empty()
+        assert trimmed.values() == ["a"]
+        assert trimmed.object_id == 0
+
+    def test_element_optional(self):
+        od = ObjectDescription(3, [ODTuple("v", "/p")])
+        assert od.element is None
+
+
+class TestCandidateDefinition:
+    def test_selects_instances(self, movie_doc):
+        definition = CandidateDefinition("MOVIE", ("/moviedoc/movie",))
+        candidates = definition.select(movie_doc)
+        assert len(candidates) == 3
+
+    def test_union_of_xpaths(self):
+        doc = parse("<db><movie/><film/><movie/></db>")
+        definition = CandidateDefinition("MP", ("/db/movie", "/db/film"))
+        assert [c.tag for c in definition.select(doc)] == [
+            "movie", "movie", "film",
+        ]
+
+    def test_multiple_documents(self, movie_doc):
+        doc2 = parse("<moviedoc><movie><title>X</title></movie></moviedoc>")
+        definition = CandidateDefinition("MOVIE", ("/moviedoc/movie",))
+        assert len(definition.select([movie_doc, doc2])) == 4
+
+    def test_overlapping_xpaths_deduplicated(self, movie_doc):
+        definition = CandidateDefinition(
+            "MOVIE", ("/moviedoc/movie", "//movie")
+        )
+        assert len(definition.select(movie_doc)) == 3
+
+    def test_from_mapping(self, movie_mapping):
+        definition = CandidateDefinition.from_mapping(movie_mapping, "MOVIE")
+        assert definition.xpaths == ("/moviedoc/movie",)
+
+    def test_empty_xpaths_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateDefinition("T", ())
+
+
+class TestDescriptionDefinition:
+    def test_table2_ods(self, movie_doc):
+        """The paper's Table 2: ODs of the three movies."""
+        definition = DescriptionDefinition(("./title", "./year", "./actor/name"))
+        candidates = movie_doc.root.find_all("movie")
+        ods = generate_ods(definition, candidates)
+        assert [t.value for t in ods[0]] == [
+            "The Matrix", "1999", "Keanu Reeves", "L. Fishburne",
+        ]
+        assert [t.value for t in ods[1]] == ["Matrix", "1999", "Keanu Reeves"]
+        assert [t.value for t in ods[2]] == ["Signs", "2002", "Mel Gibson"]
+
+    def test_names_are_absolute_xpaths(self, movie_doc):
+        definition = DescriptionDefinition(("./title",))
+        od = definition.generate_od(0, movie_doc.root.find_all("movie")[1])
+        assert od.names() == ["/moviedoc/movie[2]/title"]
+
+    def test_empty_values_dropped_by_default(self):
+        doc = parse("<d><m><t></t><y>1999</y></m></d>")
+        definition = DescriptionDefinition(("./t", "./y"))
+        od = definition.generate_od(0, doc.root.find("m"))
+        assert od.values() == ["1999"]
+
+    def test_include_empty(self):
+        doc = parse("<d><m><t></t></m></d>")
+        definition = DescriptionDefinition(("./t",), include_empty=True)
+        od = definition.generate_od(0, doc.root.find("m"))
+        assert od.values() == [""]
+
+    def test_duplicate_xpaths_deduplicated(self):
+        definition = DescriptionDefinition(("./t", "./t"))
+        assert definition.xpaths == ("./t",)
+
+    def test_overlapping_selections_unique_elements(self, movie_doc):
+        definition = DescriptionDefinition(("./title", "./*"))
+        od = definition.generate_od(0, movie_doc.root.find_all("movie")[2])
+        # title selected once despite matching both paths
+        assert od.values().count("Signs") == 1
+
+    def test_ancestor_selection(self, movie_doc):
+        doc = parse("<db><grp><name>G</name><it><v>x</v></it></grp></db>")
+        item = doc.root.find("grp").find("it")
+        definition = DescriptionDefinition(("./v", "../name"))
+        od = definition.generate_od(0, item)
+        assert set(od.values()) == {"x", "G"}
+
+    def test_object_ids_sequential(self, movie_doc):
+        definition = DescriptionDefinition(("./title",))
+        ods = generate_ods(definition, movie_doc.root.find_all("movie"))
+        assert [od.object_id for od in ods] == [0, 1, 2]

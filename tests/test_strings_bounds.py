@@ -1,0 +1,94 @@
+"""Edit-distance bound tests."""
+
+import pytest
+
+from repro.strings import (
+    BoundedMatcher,
+    bag_distance,
+    edit_distance,
+    edit_distance_lower_bound,
+    edit_distance_upper_bound,
+    length_lower_bound,
+    normalized_edit_distance,
+    normalized_lower_bound,
+    normalized_upper_bound,
+)
+
+CASES = [
+    ("", ""),
+    ("a", ""),
+    ("abc", "abc"),
+    ("abc", "cab"),
+    ("kitten", "sitting"),
+    ("Track 01", "Track 02"),
+    ("The Matrix", "Matrix"),
+    ("aabbcc", "abc"),
+    ("xyz", "abcdefgh"),
+    ("mississippi", "misisipi"),
+]
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_length_bound_holds(self, a, b):
+        assert length_lower_bound(a, b) <= edit_distance(a, b)
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_bag_bound_holds(self, a, b):
+        assert bag_distance(a, b) <= edit_distance(a, b)
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_combined_bound_holds(self, a, b):
+        assert edit_distance_lower_bound(a, b) <= edit_distance(a, b)
+
+    def test_bag_distance_values(self):
+        assert bag_distance("abc", "cab") == 0     # same multiset
+        assert bag_distance("aab", "abb") == 1
+        assert bag_distance("abc", "xyz") == 3
+
+    def test_bag_tighter_than_length_sometimes(self):
+        # Same length, disjoint characters: length bound is 0, bag is 3.
+        assert length_lower_bound("abc", "xyz") == 0
+        assert bag_distance("abc", "xyz") == 3
+
+
+class TestUpperBound:
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_upper_bound_holds(self, a, b):
+        assert edit_distance(a, b) <= edit_distance_upper_bound(a, b)
+
+    def test_exact_for_equal(self):
+        assert edit_distance_upper_bound("same", "same") == 0
+
+    def test_exact_for_prefix(self):
+        assert edit_distance_upper_bound("abc", "abcdef") == 3
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_normalized_bounds_sandwich(self, a, b):
+        ned = normalized_edit_distance(a, b)
+        assert normalized_lower_bound(a, b) <= ned <= normalized_upper_bound(a, b)
+
+
+class TestBoundedMatcher:
+    def test_agrees_with_direct(self):
+        matcher = BoundedMatcher(0.3)
+        for a, b in CASES:
+            assert matcher.matches(a, b) == (normalized_edit_distance(a, b) < 0.3)
+
+    def test_statistics_accumulate(self):
+        matcher = BoundedMatcher(0.15)
+        matcher.matches("identical", "identical")     # upper bound accept
+        matcher.matches("abc", "xyz")                  # lower bound reject
+        assert matcher.total_checks == 2
+        assert matcher.upper_bound_accepts >= 1
+        assert matcher.lower_bound_rejects >= 1
+
+    def test_savings_fraction(self):
+        matcher = BoundedMatcher(0.15)
+        assert matcher.savings() == 0.0
+        matcher.matches("aaa", "zzz")
+        assert matcher.savings() == 1.0
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedMatcher(1.5)

@@ -1,0 +1,144 @@
+"""Parser and serializer tests, including round-trips."""
+
+import pytest
+
+from repro.xmlkit import Document, Element, XMLError, parse, serialize
+
+
+class TestParse:
+    def test_single_element(self):
+        doc = parse("<a/>")
+        assert isinstance(doc, Document)
+        assert doc.root.tag == "a"
+        assert doc.root.children == []
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.text == "hello"
+
+    def test_nested_structure(self):
+        doc = parse("<a><b><c>deep</c></b></a>")
+        assert doc.root.find("b").find("c").text == "deep"
+
+    def test_attributes(self):
+        doc = parse('<a x="1"><b y="2"/></a>')
+        assert doc.root.get("x") == "1"
+        assert doc.root.find("b").get("y") == "2"
+
+    def test_declaration_captured(self):
+        doc = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.declaration == {"version": "1.0", "encoding": "UTF-8"}
+
+    def test_comments_dropped(self):
+        doc = parse("<a><!-- note --><b/></a>")
+        assert [c.tag for c in doc.root.children] == ["b"]
+
+    def test_doctype_skipped(self):
+        doc = parse("<!DOCTYPE a><a/>")
+        assert doc.root.tag == "a"
+
+    def test_mixed_content_preserved(self):
+        doc = parse("<p>one <b>two</b> three</p>")
+        content = doc.root.content
+        assert content[0] == "one "
+        assert isinstance(content[1], Element)
+        assert content[2] == " three"
+        assert doc.root.text_content() == "one two three"
+
+    def test_pretty_printed_whitespace_dropped(self):
+        doc = parse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>")
+        assert [c.tag for c in doc.root.children] == ["b", "c"]
+        assert doc.root.text == ""
+
+    def test_whitespace_inside_leaf_preserved(self):
+        doc = parse("<a>  padded  </a>")
+        # .text strips, but the raw content keeps the padding
+        assert doc.root.content == ("  padded  ",)
+        assert doc.root.text == "padded"
+
+    def test_cdata_text(self):
+        doc = parse("<a><![CDATA[1 < 2 & 3]]></a>")
+        assert doc.root.text == "1 < 2 & 3"
+
+    def test_entity_text(self):
+        doc = parse("<a>&lt;tag&gt;</a>")
+        assert doc.root.text == "<tag>"
+
+    def test_multiple_same_tag_children(self):
+        doc = parse("<a><x>1</x><x>2</x><x>3</x></a>")
+        assert [e.text for e in doc.root.find_all("x")] == ["1", "2", "3"]
+
+
+class TestParseErrors:
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLError, match="mismatched tags"):
+            parse("<a><b></a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLError, match="unclosed element"):
+            parse("<a><b>")
+
+    def test_multiple_roots(self):
+        with pytest.raises(XMLError, match="multiple root"):
+            parse("<a/><b/>")
+
+    def test_no_root(self):
+        with pytest.raises(XMLError, match="no root"):
+            parse("<!-- only a comment -->")
+
+    def test_text_outside_root(self):
+        with pytest.raises(XMLError, match="outside the root"):
+            parse("<a/>trailing")
+
+    def test_stray_end_tag(self):
+        with pytest.raises(XMLError, match="unexpected closing"):
+            parse("</a>")
+
+    def test_late_declaration(self):
+        with pytest.raises(XMLError, match="must precede"):
+            parse("<a/><?xml version='1.0'?>")
+
+
+class TestSerialize:
+    def test_compact_round_trip(self):
+        source = '<a x="1"><b>text</b><c/><d>x &amp; y</d></a>'
+        doc = parse(source)
+        again = parse(serialize(doc, indent=None))
+        assert serialize(again, indent=None) == serialize(doc, indent=None)
+
+    def test_pretty_round_trip_structure(self):
+        doc = parse("<a><b>x</b><c><d>y</d></c></a>")
+        reparsed = parse(serialize(doc))
+        assert [e.tag for e in reparsed.root.iter()] == [
+            e.tag for e in doc.root.iter()
+        ]
+        assert reparsed.root.find("c").find("d").text == "y"
+
+    def test_escaping_in_text(self):
+        doc = Document(Element("a", content=["a < b & c > d"]))
+        assert "&lt;" in serialize(doc) and "&amp;" in serialize(doc)
+        assert parse(serialize(doc)).root.text == "a < b & c > d"
+
+    def test_escaping_in_attribute(self):
+        doc = Document(Element("a", {"v": 'say "hi" & <bye>'}))
+        assert parse(serialize(doc)).root.get("v") == 'say "hi" & <bye>'
+
+    def test_empty_element_self_closes(self):
+        assert "<empty/>" in serialize(Element("empty"))
+
+    def test_mixed_content_round_trip(self):
+        source = "<p>one <b>two</b> three</p>"
+        doc = parse(source)
+        assert parse(serialize(doc)).root.text_content() == "one two three"
+
+    def test_declaration_emitted(self):
+        out = serialize(parse('<?xml version="1.0"?><a/>'))
+        assert out.startswith("<?xml")
+
+    def test_declaration_suppressed(self):
+        out = serialize(parse("<a/>"), declaration=False)
+        assert not out.startswith("<?xml")
+
+    def test_element_serialization_without_document(self):
+        element = Element("x", content=["v"])
+        assert serialize(element) == "<x>v</x>"

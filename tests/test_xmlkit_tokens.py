@@ -1,0 +1,157 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.xmlkit import XMLError
+from repro.xmlkit.tokens import Token, Tokenizer, TokenType, resolve_entities
+
+
+def tokens_of(text):
+    return list(Tokenizer(text).tokens())
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        tokens = tokens_of("<a>hi</a>")
+        assert [t.type for t in tokens] == [
+            TokenType.START_TAG,
+            TokenType.TEXT,
+            TokenType.END_TAG,
+        ]
+        assert tokens[0].value == "a"
+        assert tokens[1].value == "hi"
+        assert tokens[2].value == "a"
+
+    def test_empty_tag(self):
+        (token,) = tokens_of("<a/>")
+        assert token.type is TokenType.EMPTY_TAG
+        assert token.value == "a"
+
+    def test_empty_tag_with_attributes(self):
+        (token,) = tokens_of('<a x="1" y="2"/>')
+        assert token.type is TokenType.EMPTY_TAG
+        assert token.attributes == (("x", "1"), ("y", "2"))
+
+    def test_attributes_single_and_double_quotes(self):
+        (token,) = tokens_of("<a x='one' y=\"two\"/>")
+        assert dict(token.attributes) == {"x": "one", "y": "two"}
+
+    def test_attribute_with_spaces_around_equals(self):
+        (token,) = tokens_of('<a x = "1"/>')
+        assert token.attributes == (("x", "1"),)
+
+    def test_nested_elements(self):
+        tokens = tokens_of("<a><b/></a>")
+        assert [t.type for t in tokens] == [
+            TokenType.START_TAG,
+            TokenType.EMPTY_TAG,
+            TokenType.END_TAG,
+        ]
+
+    def test_tag_names_with_dash_dot_colon(self):
+        for name in ("release-date", "xs:element", "a.b", "_private"):
+            (token, *_rest) = tokens_of(f"<{name}></{name}>")
+            assert token.value == name
+
+    def test_offsets_recorded(self):
+        tokens = tokens_of("<a>text</a>")
+        assert tokens[0].offset == 0
+        assert tokens[1].offset == 3
+        assert tokens[2].offset == 7
+
+
+class TestSpecialConstructs:
+    def test_comment(self):
+        tokens = tokens_of("<a><!-- hidden --></a>")
+        assert tokens[1].type is TokenType.COMMENT
+        assert tokens[1].value == " hidden "
+
+    def test_cdata_becomes_text(self):
+        tokens = tokens_of("<a><![CDATA[<raw> & stuff]]></a>")
+        assert tokens[1].type is TokenType.TEXT
+        assert tokens[1].value == "<raw> & stuff"
+
+    def test_declaration(self):
+        tokens = tokens_of('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert tokens[0].type is TokenType.DECLARATION
+        assert dict(tokens[0].attributes) == {
+            "version": "1.0",
+            "encoding": "UTF-8",
+        }
+
+    def test_processing_instruction(self):
+        tokens = tokens_of("<?php echo ?><a/>")
+        assert tokens[0].type is TokenType.PI
+
+    def test_doctype_skipped_as_token(self):
+        tokens = tokens_of("<!DOCTYPE html><a/>")
+        assert tokens[0].type is TokenType.DOCTYPE
+
+    def test_xmlns_attribute(self):
+        (token,) = tokens_of('<a xmlns:xs="http://x"/>')
+        assert token.attributes == (("xmlns:xs", "http://x"),)
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        assert resolve_entities("&lt;&gt;&amp;&apos;&quot;") == "<>&'\""
+
+    def test_decimal_character_reference(self):
+        assert resolve_entities("&#65;") == "A"
+
+    def test_hex_character_reference(self):
+        assert resolve_entities("&#x41;&#x20ac;") == "A€"
+
+    def test_entities_in_text(self):
+        tokens = tokens_of("<a>x &amp; y</a>")
+        assert tokens[1].value == "x & y"
+
+    def test_entities_in_attributes(self):
+        (token,) = tokens_of('<a v="a&lt;b"/>')
+        assert token.attributes == (("v", "a<b"),)
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLError, match="unknown entity"):
+            resolve_entities("&nope;")
+
+    def test_unterminated_entity_raises(self):
+        with pytest.raises(XMLError, match="unterminated entity"):
+            resolve_entities("&amp")
+
+    def test_bad_character_reference_raises(self):
+        with pytest.raises(XMLError):
+            resolve_entities("&#xzz;")
+
+
+class TestMalformedInput:
+    def test_unterminated_start_tag(self):
+        with pytest.raises(XMLError, match="unterminated"):
+            tokens_of("<a")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLError, match="unterminated"):
+            tokens_of("<!-- never closed")
+
+    def test_unterminated_cdata(self):
+        with pytest.raises(XMLError, match="unterminated"):
+            tokens_of("<![CDATA[oops")
+
+    def test_malformed_attribute_unquoted(self):
+        with pytest.raises(XMLError, match="quoted"):
+            tokens_of("<a x=1/>")
+
+    def test_attribute_missing_equals(self):
+        with pytest.raises(XMLError, match="missing '='"):
+            tokens_of('<a x "1"/>')
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XMLError, match="duplicate attribute"):
+            tokens_of('<a x="1" x="2"/>')
+
+    def test_bad_tag_name(self):
+        with pytest.raises(XMLError, match="malformed tag name"):
+            tokens_of('<1tag/>')
+
+    def test_empty_tag_name(self):
+        with pytest.raises(XMLError, match="empty tag name"):
+            tokens_of("<>")

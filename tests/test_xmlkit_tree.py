@@ -1,0 +1,161 @@
+"""Tree model tests: axes, paths, manipulation."""
+
+import pytest
+
+from repro.xmlkit import Element, XMLError, parse, strip_positions
+
+
+@pytest.fixture()
+def tree():
+    return parse(
+        "<doc>"
+        "<movie><title>A</title><actor><name>n1</name></actor>"
+        "<actor><name>n2</name></actor></movie>"
+        "<movie><title>B</title></movie>"
+        "</doc>"
+    ).root
+
+
+class TestAccessors:
+    def test_children(self, tree):
+        assert [c.tag for c in tree.children] == ["movie", "movie"]
+
+    def test_find_first(self, tree):
+        assert tree.find("movie").find("title").text == "A"
+
+    def test_find_missing_returns_none(self, tree):
+        assert tree.find("nope") is None
+
+    def test_find_all(self, tree):
+        movie = tree.find("movie")
+        assert len(movie.find_all("actor")) == 2
+
+    def test_get_attribute_default(self):
+        element = Element("a", {"x": "1"})
+        assert element.get("x") == "1"
+        assert element.get("y") is None
+        assert element.get("y", "d") == "d"
+
+    def test_has_text(self, tree):
+        assert tree.find("movie").find("title").has_text
+        assert not tree.find("movie").has_text
+
+    def test_text_content_subtree(self, tree):
+        assert tree.find("movie").text_content() == "An1n2"
+
+
+class TestAxes:
+    def test_ancestors(self, tree):
+        name = tree.find("movie").find("actor").find("name")
+        assert [a.tag for a in name.ancestors()] == ["actor", "movie", "doc"]
+
+    def test_iter_document_order(self, tree):
+        tags = [e.tag for e in tree.iter()]
+        assert tags == [
+            "doc", "movie", "title", "actor", "name", "actor", "name",
+            "movie", "title",
+        ]
+
+    def test_descendants_excludes_self(self, tree):
+        assert "doc" not in [e.tag for e in tree.descendants()]
+
+    def test_descendants_at_depth(self, tree):
+        level1 = tree.descendants_at_depth(1)
+        assert [e.tag for e in level1] == ["movie", "movie"]
+        level2 = tree.descendants_at_depth(2)
+        assert [e.tag for e in level2] == ["title", "actor", "actor", "title"]
+
+    def test_descendants_at_depth_zero_raises(self, tree):
+        with pytest.raises(XMLError):
+            tree.descendants_at_depth(0)
+
+    def test_breadth_first_order(self, tree):
+        tags = [e.tag for e in tree.breadth_first()]
+        assert tags == [
+            "movie", "movie", "title", "actor", "actor", "title",
+            "name", "name",
+        ]
+
+    def test_depth_and_root(self, tree):
+        name = tree.find("movie").find("actor").find("name")
+        assert name.depth == 3
+        assert tree.depth == 0
+        assert name.root is tree
+
+
+class TestPaths:
+    def test_absolute_path_with_positions(self, tree):
+        second_actor = tree.find("movie").find_all("actor")[1]
+        assert second_actor.absolute_path() == "/doc/movie[1]/actor[2]"
+
+    def test_absolute_path_singleton_omits_position(self, tree):
+        title = tree.find("movie").find("title")
+        assert title.absolute_path() == "/doc/movie[1]/title"
+
+    def test_generic_path(self, tree):
+        name = tree.find("movie").find("actor").find("name")
+        assert name.generic_path() == "/doc/movie/actor/name"
+
+    def test_strip_positions(self):
+        assert strip_positions("/doc/movie[2]/actor[13]/name") == (
+            "/doc/movie/actor/name"
+        )
+        assert strip_positions("/plain/path") == "/plain/path"
+
+    def test_child_position(self, tree):
+        movie = tree.find("movie")
+        actors = movie.find_all("actor")
+        assert movie.child_position(actors[0]) == 1
+        assert movie.child_position(actors[1]) == 2
+
+    def test_child_position_not_a_child(self, tree):
+        with pytest.raises(XMLError):
+            tree.child_position(Element("stranger"))
+
+
+class TestManipulation:
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = Element("c")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_append_reparent_rejected(self):
+        parent = Element("p")
+        child = Element("c")
+        parent.append(child)
+        with pytest.raises(XMLError, match="already has a parent"):
+            Element("q").append(child)
+
+    def test_remove(self):
+        parent = Element("p", content=[Element("c1"), Element("c2")])
+        child = parent.children[0]
+        parent.remove(child)
+        assert [c.tag for c in parent.children] == ["c2"]
+        assert child.parent is None
+
+    def test_remove_non_child_raises(self):
+        with pytest.raises(XMLError):
+            Element("p").remove(Element("c"))
+
+    def test_copy_is_deep_and_detached(self, tree):
+        movie = tree.find("movie")
+        clone = movie.copy()
+        assert clone.parent is None
+        assert clone.find("title").text == "A"
+        clone.find("title")._content = ["changed"]
+        assert movie.find("title").text == "A"
+
+    def test_copy_preserves_attributes(self):
+        element = Element("a", {"k": "v"})
+        assert element.copy().attributes == {"k": "v"}
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(XMLError):
+            Element("")
+
+    def test_extend(self):
+        parent = Element("p")
+        parent.extend([Element("a"), "text", Element("b")])
+        assert [c.tag for c in parent.children] == ["a", "b"]
+        assert parent.text == "text"

@@ -1,0 +1,147 @@
+"""XPath engine tests."""
+
+import pytest
+
+from repro.xmlkit import XPathSyntaxError, compile_path, join, parse, select
+
+
+@pytest.fixture()
+def doc():
+    return parse(
+        "<lib>"
+        "<shelf n='1'>"
+        "<book><title>Dune</title><year>1965</year></book>"
+        "<book><title>Emma</title><year>1815</year></book>"
+        "</shelf>"
+        "<shelf n='2'>"
+        "<book><title>Ilium</title></book>"
+        "</shelf>"
+        "<title>catalog</title>"
+        "</lib>"
+    )
+
+
+class TestAbsolutePaths:
+    def test_root_only(self, doc):
+        assert [e.tag for e in select(doc, "/lib")] == ["lib"]
+
+    def test_child_chain(self, doc):
+        titles = select(doc, "/lib/shelf/book/title")
+        assert [e.text for e in titles] == ["Dune", "Emma", "Ilium"]
+
+    def test_wrong_root_matches_nothing(self, doc):
+        assert select(doc, "/other/shelf") == []
+
+    def test_positional_predicate(self, doc):
+        assert select(doc, "/lib/shelf[2]/book/title")[0].text == "Ilium"
+        assert select(doc, "/lib/shelf[1]/book[2]/title")[0].text == "Emma"
+
+    def test_position_out_of_range(self, doc):
+        assert select(doc, "/lib/shelf[5]") == []
+
+    def test_descendant_shorthand(self, doc):
+        # //title finds nested and direct titles in document order
+        assert [e.text for e in select(doc, "//title")] == [
+            "Dune", "Emma", "Ilium", "catalog",
+        ]
+
+    def test_descendant_mid_path(self, doc):
+        assert [e.text for e in select(doc, "/lib//title")] == [
+            "Dune", "Emma", "Ilium", "catalog",
+        ]
+
+    def test_wildcard(self, doc):
+        assert [e.tag for e in select(doc, "/lib/*")] == [
+            "shelf", "shelf", "title",
+        ]
+
+    def test_equality_predicate(self, doc):
+        books = select(doc, "/lib/shelf/book[title='Emma']")
+        assert len(books) == 1
+        assert books[0].find("year").text == "1815"
+
+    def test_xquery_variable_prefix(self, doc):
+        assert [e.text for e in select(doc, "$doc/lib/shelf[2]/book/title")] == [
+            "Ilium"
+        ]
+
+
+class TestRelativePaths:
+    def test_dot(self, doc):
+        shelf = select(doc, "/lib/shelf")[0]
+        assert select(shelf, ".") == [shelf]
+
+    def test_dot_slash_child(self, doc):
+        shelf = select(doc, "/lib/shelf")[0]
+        assert [e.text for e in select(shelf, "./book/title")] == ["Dune", "Emma"]
+
+    def test_bare_child(self, doc):
+        shelf = select(doc, "/lib/shelf")[0]
+        assert [e.text for e in select(shelf, "book/title")] == ["Dune", "Emma"]
+
+    def test_parent_step(self, doc):
+        book = select(doc, "/lib/shelf/book")[0]
+        assert select(book, "..")[0].tag == "shelf"
+        assert select(book, "../..")[0].tag == "lib"
+
+    def test_parent_then_child(self, doc):
+        book = select(doc, "/lib/shelf[1]/book[1]")[0]
+        siblings = select(book, "../book/title")
+        assert [e.text for e in siblings] == ["Dune", "Emma"]
+
+    def test_relative_descendant(self, doc):
+        shelf = select(doc, "/lib/shelf")[1]
+        assert [e.text for e in select(shelf, ".//title")] == ["Ilium"]
+
+    def test_deduplication(self, doc):
+        # Overlapping steps must not duplicate nodes.
+        shelf = select(doc, "/lib/shelf")[0]
+        results = select(shelf, "./book/../book/title")
+        assert [e.text for e in results] == ["Dune", "Emma"]
+
+
+class TestCompile:
+    def test_compiled_reusable(self, doc):
+        path = compile_path("/lib/shelf/book")
+        assert len(path.select(doc)) == 3
+        assert len(path.select(doc)) == 3
+
+    def test_str_round_trip(self):
+        assert str(compile_path("/a/b[2]//c")) == "/a/b[2]//c"
+
+    def test_absolute_flag(self):
+        assert compile_path("/a/b").absolute
+        assert not compile_path("./a/b").absolute
+        assert not compile_path("a/b").absolute
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "expression",
+        ["", "   ", "/a//", "/a/", "//", "/a[", "/a[]", "/a[x>1]", "$doc"],
+    )
+    def test_rejected(self, expression):
+        with pytest.raises(XPathSyntaxError):
+            compile_path(expression)
+
+    def test_predicate_on_dot_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            compile_path("./.[1]")
+
+
+class TestJoin:
+    def test_simple(self):
+        assert join("/doc/movie", "./title") == "/doc/movie/title"
+
+    def test_bare_relative(self):
+        assert join("/doc/movie", "title") == "/doc/movie/title"
+
+    def test_parent(self):
+        assert join("/doc/movie", "..") == "/doc"
+        assert join("/doc/movie", "../film") == "/doc/film"
+
+    def test_absolute_wins(self):
+        assert join("/doc/movie", "/other") == "/other"
+
+    def test_self(self):
+        assert join("/doc/movie", ".") == "/doc/movie"
