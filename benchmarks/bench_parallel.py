@@ -1,0 +1,195 @@
+"""Parallel classification engine: parity check + speedup report.
+
+Runs the same detection workload (Dataset 3, the largest bench corpus)
+under the serial backend and under process-parallel policies, verifies
+that every mode returns bit-identical results, and reports wall-clock
+speedups per worker count.
+
+Standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py --workers 1 2 4
+
+or through pytest like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py -q
+
+Scale via ``REPRO_D3_COUNT`` (default 2000; paper scale 10000).  The
+speedup assertion (>= 1.5x at 4 workers) only fires when the machine
+actually has >= 4 CPU cores; parity is asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.core import DogmatiX, KClosestDescendants
+from repro.engine import ExecutionPolicy
+from repro.eval import EXPERIMENTS, build_dataset3
+
+SPEEDUP_TARGET = 1.5
+SPEEDUP_AT_WORKERS = 4
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def run_parallel_bench(
+    count: int,
+    seed: int = 11,
+    workers_list: tuple[int, ...] = (1, 2, 4),
+    batch_size: int = 512,
+) -> dict:
+    """Detect duplicates once per worker count; verify parity, time it."""
+    dataset = build_dataset3(count, seed)
+    base_config = EXPERIMENTS[0].config(KClosestDescendants(6))
+    ods = DogmatiX(base_config).build_ods(
+        dataset.sources, dataset.mapping, dataset.real_world_type
+    )
+
+    if 1 not in workers_list:
+        raise ValueError("workers_list must include 1 (the serial baseline)")
+    rows = []
+    reference = None
+    for workers in workers_list:
+        config = EXPERIMENTS[0].config(KClosestDescendants(6))
+        config.execution = ExecutionPolicy.for_workers(workers, batch_size)
+        algorithm = DogmatiX(config)
+        started = time.perf_counter()
+        result = algorithm.detect(ods, dataset.mapping, dataset.real_world_type)
+        elapsed = time.perf_counter() - started
+        if reference is None:
+            reference = result
+            identical = True
+        else:
+            identical = (
+                result.pairs == reference.pairs
+                and result.clusters == reference.clusters
+                and result.to_xml() == reference.to_xml()
+                and result.compared_pairs == reference.compared_pairs
+            )
+        rows.append(
+            {
+                "workers": workers,
+                "backend": config.execution.backend,
+                "seconds": elapsed,
+                "identical": identical,
+            }
+        )
+    serial_seconds = next(
+        row["seconds"] for row in rows if row["workers"] == 1
+    )
+    for row in rows:
+        row["speedup"] = serial_seconds / row["seconds"] if row["seconds"] else 0.0
+    return {
+        "ods": len(ods),
+        "compared": reference.compared_pairs,
+        "duplicates": len(reference.duplicate_pairs),
+        "rows": rows,
+    }
+
+
+def format_table(bench: dict) -> str:
+    lines = [
+        f"{bench['ods']} ODs, {bench['compared']} comparisons, "
+        f"{bench['duplicates']} duplicate pairs "
+        f"(host cores: {os.cpu_count()})",
+        f"{'workers':>8} {'backend':>8} {'seconds':>9} {'speedup':>8} {'parity':>7}",
+    ]
+    for row in bench["rows"]:
+        lines.append(
+            f"{row['workers']:>8} {row['backend']:>8} "
+            f"{row['seconds']:>9.2f} {row['speedup']:>7.2f}x "
+            f"{'ok' if row['identical'] else 'FAIL':>7}"
+        )
+    return "\n".join(lines)
+
+
+def check(bench: dict, require_speedup: bool) -> None:
+    """Parity always; speedup only where the hardware can deliver it."""
+    for row in bench["rows"]:
+        assert row["identical"], (
+            f"{row['workers']}-worker run diverged from the serial result"
+        )
+    assert bench["duplicates"] > 0, "benchmark corpus produced no duplicates"
+    if require_speedup:
+        at_target = [
+            row
+            for row in bench["rows"]
+            if row["workers"] == SPEEDUP_AT_WORKERS
+        ]
+        cores = os.cpu_count() or 1
+        if at_target and cores >= SPEEDUP_AT_WORKERS:
+            speedup = at_target[0]["speedup"]
+            assert speedup >= SPEEDUP_TARGET, (
+                f"expected >= {SPEEDUP_TARGET}x at {SPEEDUP_AT_WORKERS} "
+                f"workers on a {cores}-core host, measured {speedup:.2f}x"
+            )
+        elif at_target:
+            print(
+                f"note: only {cores} core(s) available; skipping the "
+                f">= {SPEEDUP_TARGET}x assertion (measured "
+                f"{at_target[0]['speedup']:.2f}x)"
+            )
+
+
+def test_parallel_engine(report):
+    """Pytest entry point, consistent with the other bench files."""
+    count = scale("REPRO_D3_COUNT", 2000)
+    bench = run_parallel_bench(count)
+    report(
+        f"Parallel engine: speedup & parity on Dataset 3 (n={count})",
+        format_table(bench),
+    )
+    check(bench, require_speedup=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, parity check only (for CI)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="Dataset 3 size (default: REPRO_D3_COUNT or 2000; smoke: 300)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker counts to sweep (default: 1 2 4; smoke: 1 2)",
+    )
+    parser.add_argument("--batch-size", type=int, default=512)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        count = args.count or 300
+        workers = tuple(args.workers or (1, 2))
+    else:
+        count = args.count or scale("REPRO_D3_COUNT", 2000)
+        workers = tuple(args.workers or (1, 2, 4))
+
+    bench = run_parallel_bench(count, workers_list=workers, batch_size=args.batch_size)
+    print(format_table(bench))
+    check(bench, require_speedup=not args.smoke)
+    print("parity ok across all backends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,20 @@ dupcluster output of Fig. 3, plus a similarity breakdown showing the
 measure's treatment of missing vs. contradictory data.
 
 Run:  python examples/quickstart.py
+
+Scaling up: classification (the O(n²) step) can fan out across worker
+processes without changing any result — set an execution policy::
+
+    from repro import DogmatixConfig, ExecutionPolicy
+    config = DogmatixConfig(execution=ExecutionPolicy.for_workers(4))
+
+or, on the command line::
+
+    python -m repro.cli dedup ... --workers 4 --batch-size 512
+
+(``--workers 0`` uses every core).  Serial and parallel runs return
+bit-identical pairs, clusters, and XML — see
+``benchmarks/bench_parallel.py`` for the parity-checked speedup report.
 """
 
 from repro import DogmatiX, DogmatixConfig, Source

@@ -36,6 +36,7 @@ from .core import (
     h_and,
     h_or,
 )
+from .engine import ExecutionPolicy, ParallelClassifier
 from .framework import (
     CandidateDefinition,
     DescriptionDefinition,
@@ -58,10 +59,12 @@ __all__ = [
     "DogmatiX",
     "DogmatixConfig",
     "DogmatixSimilarity",
+    "ExecutionPolicy",
     "KClosestDescendants",
     "ODTuple",
     "ObjectDescription",
     "ObjectFilter",
+    "ParallelClassifier",
     "RDistantAncestors",
     "RDistantDescendants",
     "Source",

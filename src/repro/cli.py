@@ -31,6 +31,7 @@ from .core import (
     h_or,
 )
 from .core.candidates_auto import suggest_candidates
+from .engine import DEFAULT_BATCH_SIZE, ExecutionPolicy
 from .framework import mapping_from_xml
 from .xmlkit import infer_schema, parse_file, parse_schema_file
 
@@ -61,6 +62,23 @@ def _parse_heuristic(spec: str):
     for heuristic in heuristics[1:]:
         combined = h_or(combined, heuristic)
     return combined
+
+
+def _bounded_int(minimum: int, what: str):
+    """argparse type: an integer >= ``minimum``, with a named error."""
+
+    def parse(raw: str) -> int:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = None
+        if value is None or value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be an integer >= {minimum}, got {raw!r}"
+            )
+        return value
+
+    return parse
 
 
 def _parse_condition(spec: Optional[str]):
@@ -99,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
     dedup.add_argument("--theta-cand", type=float, default=0.55)
     dedup.add_argument("--no-filter", action="store_true",
                        help="disable the object filter")
+    dedup.add_argument("--workers", type=_bounded_int(0, "workers"), default=1,
+                       help="classification worker processes "
+                            "(1 = serial, 0 = all cores)")
+    dedup.add_argument("--batch-size", type=_bounded_int(1, "batch size"),
+                       default=DEFAULT_BATCH_SIZE,
+                       help="candidate pairs per classification batch")
     dedup.add_argument("--output", help="write dupclusters XML here (default stdout)")
     dedup.add_argument("--explain", action="store_true",
                        help="print a similarity breakdown per duplicate pair")
@@ -130,6 +154,7 @@ def _command_dedup(args: argparse.Namespace) -> int:
         theta_tuple=args.theta_tuple,
         theta_cand=args.theta_cand,
         use_object_filter=not args.no_filter,
+        execution=ExecutionPolicy.for_workers(args.workers, args.batch_size),
     )
     algorithm = DogmatiX(config)
     result = algorithm.run(sources, mapping, args.real_world_type)

@@ -17,7 +17,7 @@ from .conditions import (
 )
 from .candidates_auto import CandidateSuggestion, best_candidate, suggest_candidates
 from .config import DogmatixConfig
-from .dogmatix import DogmatiX, Source
+from .dogmatix import DogmatiX, DogmatixClassifierFactory, Source
 from .heuristics import (
     CombinedHeuristic,
     Heuristic,
@@ -44,6 +44,7 @@ __all__ = [
     "CorpusIndex",
     "DescriptionSelector",
     "DogmatiX",
+    "DogmatixClassifierFactory",
     "DogmatixConfig",
     "DogmatixSimilarity",
     "FilterDecision",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..engine import ExecutionPolicy
 from .conditions import Condition
 from .heuristics import Heuristic, KClosestDescendants
 from .selection import DescriptionSelector
@@ -39,6 +40,10 @@ class DogmatixConfig:
         match Condition 1's rationale — no data, no evidence).
     possible_threshold:
         Optional lower threshold for a C2 "possible duplicates" band.
+    execution:
+        How step 5 executes (engine.ExecutionPolicy): worker count,
+        batch size, serial or process backend.  Results are identical
+        across policies; only wall-clock changes.
     """
 
     heuristic: Heuristic = field(default_factory=lambda: KClosestDescendants(6))
@@ -52,6 +57,7 @@ class DogmatixConfig:
     #: Similar-pair semantics: "matching" (one-to-one, DESIGN.md) or
     #: "all-pairs" (the paper's literal Eq. 4); see the ablation bench.
     similar_semantics: str = "matching"
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
 
     def __post_init__(self) -> None:
         if not 0 <= self.theta_tuple <= 1:

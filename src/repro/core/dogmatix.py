@@ -40,6 +40,33 @@ from .object_filter import ObjectFilter
 from .similarity import DogmatixSimilarity
 
 
+@dataclass(frozen=True)
+class DogmatixClassifierFactory:
+    """Rebuilds the DogmatiX classifier inside a worker process.
+
+    The engine's process backend calls this once per worker (via the
+    pool initializer) with the full OD instance, so every worker builds
+    its own :class:`CorpusIndex` exactly once — the same deterministic
+    construction the parent performs, hence bit-identical similarity
+    scores (asserted by the serial-equivalence tests).
+    """
+
+    mapping: TypeMapping
+    theta_tuple: float
+    theta_cand: float
+    possible_threshold: float | None
+    semantics: str
+
+    def __call__(self, ods: Sequence[ObjectDescription]) -> ThresholdClassifier:
+        index = CorpusIndex(ods, self.mapping, self.theta_tuple)
+        similarity = DogmatixSimilarity(index, semantics=self.semantics)
+        return ThresholdClassifier(
+            similarity,
+            self.theta_cand,
+            possible_threshold=self.possible_threshold,
+        )
+
+
 @dataclass
 class Source:
     """One data source: a document and (optionally) its schema.
@@ -141,6 +168,14 @@ class DogmatiX:
             description_definition=_DUMMY_DESCRIPTION,
             classifier=classifier,
             pair_source=pair_source,
+            policy=self.config.execution,
+            classifier_factory=DogmatixClassifierFactory(
+                mapping=mapping,
+                theta_tuple=self.config.theta_tuple,
+                theta_cand=self.config.theta_cand,
+                possible_threshold=self.config.possible_threshold,
+                semantics=self.config.similar_semantics,
+            ),
         )
         result = pipeline.detect(ods)
         self.last_index = index

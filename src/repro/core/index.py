@@ -72,13 +72,19 @@ class CorpusIndex:
         """Comparison key (real-world type or generic path) of an XPath."""
         return self.mapping.comparison_key(name)
 
-    def occurrences(self, key: str, value: str) -> set[int]:
-        """O_odt: ids of objects containing the term (empty set if unseen)."""
-        return self._occurrences.get((key, value), set())
+    def occurrences(self, key: str, value: str) -> frozenset[int]:
+        """O_odt: ids of objects containing the term (empty set if unseen).
 
-    def objects_with_key(self, key: str) -> set[int]:
-        """Ids of objects that specify any data of this kind."""
-        return self._objects_by_key.get(key, set())
+        Returned as a frozenset snapshot — the live internal sets must
+        not leak, or callers could mutate the index.
+        """
+        found = self._occurrences.get((key, value))
+        return frozenset(found) if found is not None else frozenset()
+
+    def objects_with_key(self, key: str) -> frozenset[int]:
+        """Ids of objects that specify any data of this kind (snapshot)."""
+        found = self._objects_by_key.get(key)
+        return frozenset(found) if found is not None else frozenset()
 
     def pair_idf(self, key_i: str, value_i: str, key_j: str, value_j: str) -> float:
         """Memoized softIDF of a term pair (Definition 8).

@@ -1,0 +1,32 @@
+"""engine: batched, optionally parallel execution of pipeline step 5.
+
+The architectural seam between *what* is compared (framework, core) and
+*how* the comparisons run.  :class:`ExecutionPolicy` picks a backend and
+its knobs, :class:`PairBatcher` turns any pair source into fixed-size
+work units, and :class:`ParallelClassifier` executes them — serially or
+across ``multiprocessing`` workers — with results guaranteed identical
+to the serial order (see ``tests/test_engine_parallel.py``).
+"""
+
+from .batcher import PairBatcher, chunked
+from .executor import (
+    ClassifierFactory,
+    ConstantClassifierFactory,
+    ParallelClassifier,
+    bare_ods,
+    score_batch,
+)
+from .policy import BACKENDS, DEFAULT_BATCH_SIZE, ExecutionPolicy
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BATCH_SIZE",
+    "ClassifierFactory",
+    "ConstantClassifierFactory",
+    "ExecutionPolicy",
+    "PairBatcher",
+    "ParallelClassifier",
+    "bare_ods",
+    "chunked",
+    "score_batch",
+]

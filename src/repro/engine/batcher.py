@@ -1,0 +1,54 @@
+"""Pair batching: the unit of work of the classification engine.
+
+A :class:`PairBatcher` drains any
+:class:`~repro.framework.pruning.PairSource` (all-pairs, blocking,
+filter pruning, ...) into fixed-size batches of ``(left, right)``
+object-id pairs.  Batches preserve the source's pair order, so
+concatenating per-batch results reproduces the serial pair order
+exactly — the property the serial-equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from ..framework.od import ObjectDescription
+from ..framework.pruning import PairSource
+from .policy import DEFAULT_BATCH_SIZE
+
+T = TypeVar("T")
+
+
+def chunked(items: Iterable[T], size: int) -> Iterator[list[T]]:
+    """Split any iterable into lists of at most ``size`` items."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    batch: list[T] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+class PairBatcher:
+    """Drains a pair source into fixed-size batches."""
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def batches(
+        self, pair_source: PairSource, ods: Sequence[ObjectDescription]
+    ) -> Iterator[list[tuple[int, int]]]:
+        """Yield the source's pairs over ``ods`` in batch-size lists.
+
+        The source generator runs in the calling process (pair
+        generation may depend on parent-side state such as
+        ``ObjectFilterPruning.pruned_ids``); only classification fans
+        out to workers.
+        """
+        yield from chunked(pair_source.pairs(ods), self.batch_size)

@@ -1,0 +1,83 @@
+"""Execution policy: how step 5 (pairwise classification) is executed.
+
+The detection pipeline is algorithm-agnostic about *what* it compares;
+the execution policy makes it agnostic about *how*: one knob object
+selects the backend (in-process serial or ``multiprocessing``), the
+worker count, and the pair batch size that every backend consumes.
+Serial execution is simply the one-worker case of the batched path, so
+every mode shares one code path and one result format.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Supported execution backends.
+#:
+#: * ``serial``  — classify batches in-process (zero dependencies);
+#: * ``process`` — fan batches out across ``multiprocessing`` workers.
+BACKENDS = ("serial", "process")
+
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How classification work is scheduled.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes for the ``process`` backend; must be >= 1.
+        More than one worker requires ``backend="process"`` — a
+        multi-worker serial policy would silently run single-process,
+        so it is rejected (use :meth:`for_workers` to derive both
+        fields from a count).
+    batch_size:
+        Pairs per batch handed to a worker (also the unit of the serial
+        loop); must be >= 1.
+    backend:
+        ``"serial"`` or ``"process"``.
+    """
+
+    workers: int = 1
+    batch_size: int = DEFAULT_BATCH_SIZE
+    backend: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers > 1 and self.backend == "serial":
+            raise ValueError(
+                f"workers={self.workers} with backend='serial' would run "
+                "single-process anyway; use backend='process' or "
+                "ExecutionPolicy.for_workers()"
+            )
+
+    @classmethod
+    def for_workers(
+        cls, workers: int, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> "ExecutionPolicy":
+        """Policy for a worker count: process-parallel when > 1.
+
+        ``workers=0`` means "all available cores".
+        """
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        return cls(
+            workers=workers,
+            batch_size=batch_size,
+            backend="process" if workers > 1 else "serial",
+        )
+
+    @property
+    def parallel(self) -> bool:
+        """True iff this policy fans work out across processes."""
+        return self.backend == "process" and self.workers > 1

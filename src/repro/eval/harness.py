@@ -21,6 +21,7 @@ from ..core import (
 )
 from ..core.index import CorpusIndex
 from ..datagen import DirtyConfig
+from ..engine import ExecutionPolicy
 from .datasets import Dataset, build_dataset1, build_dataset2, build_dataset3
 from .experiments import EXPERIMENTS, Experiment
 from .gold import gold_pairs, objects_with_duplicates
@@ -49,11 +50,19 @@ def run_experiment(
     experiment: Experiment,
     theta_tuple: float = 0.15,
     theta_cand: float = 0.55,
+    policy: ExecutionPolicy | None = None,
 ) -> tuple[PRResult, int]:
-    """One cell of a sweep: run DogmatiX, score against gold."""
+    """One cell of a sweep: run DogmatiX, score against gold.
+
+    ``policy`` selects the execution backend (serial / process
+    workers); results are identical, so benchmarks can sweep worker
+    counts without touching effectiveness numbers.
+    """
     config = experiment.config(
         heuristic, theta_tuple=theta_tuple, theta_cand=theta_cand
     )
+    if policy is not None:
+        config.execution = policy
     algorithm = DogmatiX(config)
     ods = algorithm.build_ods(
         dataset.sources, dataset.mapping, dataset.real_world_type
@@ -71,6 +80,7 @@ def run_heuristic_sweep(
     experiments: Iterable[Experiment] = EXPERIMENTS,
     theta_tuple: float = 0.15,
     theta_cand: float = 0.55,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepResult:
     """Sweep a heuristic parameter across the Table 4 experiments."""
     sweep = SweepResult(parameter_name, list(positions))
@@ -84,6 +94,7 @@ def run_heuristic_sweep(
                 experiment,
                 theta_tuple=theta_tuple,
                 theta_cand=theta_cand,
+                policy=policy,
             )
             sweep.series[experiment.name][position] = metrics
             sweep.compared_pairs[experiment.name][position] = compared
@@ -95,11 +106,12 @@ def run_dataset1_sweep(
     seed: int = 7,
     ks: Sequence[int] = tuple(range(1, 9)),
     experiments: Iterable[Experiment] = EXPERIMENTS,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepResult:
     """Figure 5: k-closest sweep on Dataset 1 (θ_tuple 0.15, θ_cand 0.55)."""
     dataset = build_dataset1(base_count, seed)
     return run_heuristic_sweep(
-        dataset, KClosestDescendants, list(ks), "k", experiments
+        dataset, KClosestDescendants, list(ks), "k", experiments, policy=policy
     )
 
 
@@ -108,11 +120,12 @@ def run_dataset2_sweep(
     seed: int = 13,
     rs: Sequence[int] = (1, 2, 3, 4),
     experiments: Iterable[Experiment] = EXPERIMENTS,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepResult:
     """Figure 6: r-distant sweep on Dataset 2."""
     dataset = build_dataset2(count, seed)
     return run_heuristic_sweep(
-        dataset, RDistantDescendants, list(rs), "r", experiments
+        dataset, RDistantDescendants, list(rs), "r", experiments, policy=policy
     )
 
 
@@ -134,6 +147,7 @@ def run_dataset3_threshold_sweep(
         round(0.55 + step * 0.05, 2) for step in range(10)
     ),
     k: int = 6,
+    policy: ExecutionPolicy | None = None,
 ) -> ThresholdSweepResult:
     """Figure 7: θ_cand sweep on Dataset 3 with exp1, h_kd(k=6).
 
@@ -145,6 +159,8 @@ def run_dataset3_threshold_sweep(
     lowest = min(thresholds)
     experiment = EXPERIMENTS[0]  # exp1: no condition
     config = experiment.config(KClosestDescendants(k), theta_cand=lowest)
+    if policy is not None:
+        config.execution = policy
     algorithm = DogmatiX(config)
     ods = algorithm.build_ods(
         dataset.sources, dataset.mapping, dataset.real_world_type

@@ -16,8 +16,16 @@ the baselines, and user-defined methods share this code path.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+# framework <-> engine import contract: engine modules import framework
+# *submodules* directly (never the package), and this module imports
+# eagerly only ..engine.policy (which needs no framework code).  The
+# executor import in detect() must stay deferred: with `import
+# repro.engine` as the entry point, this module executes while
+# engine/__init__ is mid-flight, and a top-level executor import would
+# hit the partially initialized engine.batcher.
+from ..engine.policy import ExecutionPolicy
 from ..xmlkit import Document, Element
 from .candidates import CandidateDefinition
 from .classifier import (
@@ -30,7 +38,10 @@ from .clustering import duplicate_clusters
 from .description import DescriptionDefinition, generate_ods
 from .od import ObjectDescription
 from .pruning import NoPruning, ObjectFilterPruning, PairSource
-from .result import DetectionResult, ScoredPair
+from .result import DetectionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.executor import ClassifierFactory
 
 
 class DetectionPipeline:
@@ -48,6 +59,17 @@ class DetectionPipeline:
         Comparison reduction (step 4); all-pairs when omitted.
     keep_possible:
         Materialize C2 pairs in the result (for expert review).
+    policy:
+        How step 5 executes (serial / process-parallel batching); the
+        serial single-worker default reproduces the classic loop.
+        Note: under the process backend, workers classify
+        element-stripped ODs (``od.element is None``); classifiers
+        that consult ``od.element`` must use the serial backend.
+    classifier_factory:
+        Picklable ``factory(ods) -> classifier`` for rebuilding the
+        classifier inside worker processes; without one the live
+        classifier itself is shipped (or execution falls back to
+        serial when it cannot be pickled).
     """
 
     def __init__(
@@ -57,12 +79,16 @@ class DetectionPipeline:
         classifier: Classifier,
         pair_source: PairSource | None = None,
         keep_possible: bool = True,
+        policy: ExecutionPolicy | None = None,
+        classifier_factory: ClassifierFactory | None = None,
     ) -> None:
         self.candidate_definition = candidate_definition
         self.description_definition = description_definition
         self.classifier = classifier
         self.pair_source = pair_source or NoPruning()
         self.keep_possible = keep_possible
+        self.policy = policy or ExecutionPolicy()
+        self.classifier_factory = classifier_factory
 
     # ------------------------------------------------------------------
     def run(
@@ -74,21 +100,21 @@ class DetectionPipeline:
         return self.detect(ods)
 
     def detect(self, ods: Sequence[ObjectDescription]) -> DetectionResult:
-        """Execute steps 4–6 on pre-built ODs."""
-        by_id = {od.object_id: od for od in ods}
-        pairs: list[ScoredPair] = []
-        compared = 0
-        scorer = getattr(self.classifier, "score_and_classify", None)
-        for left, right in self.pair_source.pairs(ods):  # step 4
-            compared += 1
-            if scorer is not None:  # one similarity evaluation per pair
-                score, label = scorer(by_id[left], by_id[right])
-            else:
-                score, label = 1.0, self.classifier.classify(by_id[left], by_id[right])
-            if label == DUPLICATES or (
-                label == POSSIBLE_DUPLICATES and self.keep_possible
-            ):
-                pairs.append(ScoredPair(left, right, score, label))
+        """Execute steps 4–6 on pre-built ODs.
+
+        Step 4 (pair generation) runs in this process; step 5 runs
+        through the execution engine, so serial and process-parallel
+        execution share one batched code path.
+        """
+        from ..engine.executor import ParallelClassifier
+
+        engine = ParallelClassifier(
+            self.classifier,
+            policy=self.policy,
+            classifier_factory=self.classifier_factory,
+            keep_possible=self.keep_possible,
+        )
+        pairs, compared = engine.run(ods, self.pair_source)  # steps 4+5
         duplicate_ids = [
             (pair.left, pair.right) for pair in pairs if pair.label == DUPLICATES
         ]

@@ -37,6 +37,26 @@ class TestCorpusIndex:
         assert index.objects_with_key("NAME") == {0, 1, 2, 3}
         assert index.objects_with_key("OTHER") == set()
 
+    def test_occurrences_do_not_leak_internal_state(self, index):
+        """Regression: the returned sets are snapshots — mutating them
+        (or trying to) must never corrupt the index."""
+        occurrences = index.occurrences("CODE", "X1")
+        assert isinstance(occurrences, frozenset)
+        with pytest.raises(AttributeError):
+            occurrences.add(99)  # type: ignore[attr-defined]
+        assert index.occurrences("CODE", "X1") == {0, 1}
+        # Unseen terms return fresh empties, not a shared mutable set.
+        assert isinstance(index.occurrences("CODE", "nope"), frozenset)
+
+    def test_objects_with_key_do_not_leak_internal_state(self, index):
+        objects = index.objects_with_key("CODE")
+        assert isinstance(objects, frozenset)
+        with pytest.raises(AttributeError):
+            objects.discard(0)  # type: ignore[attr-defined]
+        assert index.objects_with_key("CODE") == {0, 1, 2}
+        # Set algebra still works for callers (e.g. the object filter).
+        assert objects - {0} == {1, 2}
+
     def test_similar_values(self, index):
         # ned(alpha, alphq) = 0.2 < 0.25
         assert set(index.similar_values("NAME", "alpha")) == {"alpha", "alphq"}

@@ -1,0 +1,278 @@
+"""Serial-equivalence harness for the execution engine.
+
+The engine's contract: for any corpus and any configuration, the
+serial, batched-serial, and process-parallel backends return
+bit-identical ``DetectionResult`` contents — same ``ScoredPair`` list
+(order, scores, labels), same clusters, same dupcluster XML, same
+comparison counts.  These tests pin that contract on the paper's
+running example and on generated dirty corpora, plus property-style
+checks of the batching layer itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DogmatiX,
+    DogmatixConfig,
+    KClosestDescendants,
+    RDistantDescendants,
+)
+from repro.datagen import (
+    paper_example_document,
+    paper_example_mapping,
+    paper_example_schema,
+)
+from repro.engine import (
+    ConstantClassifierFactory,
+    ExecutionPolicy,
+    PairBatcher,
+    ParallelClassifier,
+    chunked,
+)
+from repro.eval import build_dataset1, build_dataset2
+from repro.framework import (
+    CandidateDefinition,
+    DescriptionDefinition,
+    DetectionPipeline,
+    MatchingTuplesClassifier,
+    NoPruning,
+    ThresholdClassifier,
+    od_from_pairs,
+)
+from repro.core import Source
+
+
+# ----------------------------------------------------------------------
+# ExecutionPolicy
+# ----------------------------------------------------------------------
+class TestExecutionPolicy:
+    def test_defaults_are_serial(self):
+        policy = ExecutionPolicy()
+        assert policy.backend == "serial"
+        assert policy.workers == 1
+        assert not policy.parallel
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"batch_size": 0},
+            {"backend": "threads"},
+            # multi-worker serial would silently run single-process
+            {"workers": 4, "backend": "serial"},
+            {"workers": 4},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_for_workers(self):
+        assert ExecutionPolicy.for_workers(1).backend == "serial"
+        four = ExecutionPolicy.for_workers(4, batch_size=32)
+        assert four.backend == "process"
+        assert four.workers == 4 and four.batch_size == 32
+        assert four.parallel
+        auto = ExecutionPolicy.for_workers(0)
+        assert auto.workers >= 1
+
+    def test_single_process_worker_is_not_parallel(self):
+        assert not ExecutionPolicy(workers=1, backend="process").parallel
+
+
+# ----------------------------------------------------------------------
+# PairBatcher
+# ----------------------------------------------------------------------
+class TestPairBatcher:
+    def test_batches_preserve_order_and_sizes(self):
+        ods = [od_from_pairs(i, [("v", "/r/a")]) for i in range(6)]
+        batches = list(PairBatcher(batch_size=4).batches(NoPruning(), ods))
+        flat = [pair for batch in batches for pair in batch]
+        assert flat == list(NoPruning().pairs(ods))
+        assert all(len(batch) <= 4 for batch in batches)
+        assert all(len(batch) == 4 for batch in batches[:-1])
+
+    def test_empty_source_yields_no_batches(self):
+        assert list(PairBatcher().batches(NoPruning(), [])) == []
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            PairBatcher(batch_size=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.lists(st.integers(), max_size=60),
+        size=st.integers(min_value=1, max_value=9),
+    )
+    def test_chunked_partitions_losslessly(self, items, size):
+        batches = list(chunked(items, size))
+        assert [x for batch in batches for x in batch] == items
+        assert all(1 <= len(batch) <= size for batch in batches)
+        if batches:
+            assert all(len(batch) == size for batch in batches[:-1])
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence on real corpora
+# ----------------------------------------------------------------------
+POLICIES = (
+    ExecutionPolicy(),  # classic serial
+    ExecutionPolicy(batch_size=1),  # batched-serial, degenerate batches
+    ExecutionPolicy(batch_size=7),  # batched-serial, ragged tail
+    ExecutionPolicy(workers=2, batch_size=16, backend="process"),
+    ExecutionPolicy(workers=3, batch_size=5, backend="process"),
+)
+
+
+def detect_with(dataset, config_factory, policy):
+    config = config_factory()
+    config.execution = policy
+    algorithm = DogmatiX(config)
+    return algorithm.run(dataset.sources, dataset.mapping, dataset.real_world_type)
+
+
+def assert_results_identical(reference, other):
+    assert other.pairs == reference.pairs  # order, ids, scores, labels
+    assert other.clusters == reference.clusters
+    assert other.to_xml() == reference.to_xml()
+    assert other.compared_pairs == reference.compared_pairs
+    assert other.pruned_object_ids == reference.pruned_object_ids
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def paper_dataset(self):
+        from repro.eval.datasets import Dataset
+
+        return Dataset(
+            sources=[Source(paper_example_document(), paper_example_schema())],
+            mapping=paper_example_mapping(),
+            real_world_type="MOVIE",
+            description="paper running example",
+        )
+
+    @pytest.fixture(scope="class")
+    def dirty_cds(self):
+        return build_dataset1(base_count=25, seed=7)
+
+    @pytest.fixture(scope="class")
+    def dirty_movies(self):
+        return build_dataset2(count=20, seed=13)
+
+    def test_paper_example_equivalence(self, paper_dataset):
+        def config():
+            return DogmatixConfig(
+                heuristic=RDistantDescendants(2),
+                theta_tuple=0.55,
+                theta_cand=0.55,
+                use_object_filter=False,
+            )
+
+        reference = detect_with(paper_dataset, config, POLICIES[0])
+        assert reference.duplicate_pairs  # the Matrix pair is found
+        for policy in POLICIES[1:]:
+            assert_results_identical(
+                reference, detect_with(paper_dataset, config, policy)
+            )
+
+    def test_dirty_cds_equivalence(self, dirty_cds):
+        def config():
+            return DogmatixConfig(heuristic=KClosestDescendants(6))
+
+        reference = detect_with(dirty_cds, config, POLICIES[0])
+        assert reference.duplicate_pairs
+        for policy in POLICIES[1:]:
+            assert_results_identical(
+                reference, detect_with(dirty_cds, config, policy)
+            )
+
+    def test_dirty_movies_equivalence(self, dirty_movies):
+        def config():
+            return DogmatixConfig(
+                heuristic=RDistantDescendants(4), use_object_filter=False
+            )
+
+        reference = detect_with(dirty_movies, config, POLICIES[0])
+        assert reference.duplicate_pairs
+        for policy in POLICIES[1:]:
+            assert_results_identical(
+                reference, detect_with(dirty_movies, config, policy)
+            )
+
+    def test_possible_band_equivalence(self, dirty_cds):
+        """The C2 band survives the round-trip through workers."""
+
+        def config():
+            return DogmatixConfig(
+                heuristic=KClosestDescendants(6), possible_threshold=0.30
+            )
+
+        reference = detect_with(dirty_cds, config, POLICIES[0])
+        assert reference.possible_pairs  # band is actually exercised
+        parallel = detect_with(dirty_cds, config, POLICIES[3])
+        assert_results_identical(reference, parallel)
+
+
+# ----------------------------------------------------------------------
+# Engine behavior on generic (non-DogmatiX) pipelines
+# ----------------------------------------------------------------------
+def movie_pipeline(classifier, policy=None, classifier_factory=None):
+    return DetectionPipeline(
+        CandidateDefinition("MOVIE", ("/moviedoc/movie",)),
+        DescriptionDefinition(("./title", "./year", "./actor/name")),
+        classifier,
+        policy=policy,
+        classifier_factory=classifier_factory,
+    )
+
+
+class TestGenericPipelineParallel:
+    def test_stateless_classifier_ships_to_workers(self):
+        """Without a factory, a picklable classifier is shipped as-is."""
+        document = paper_example_document()
+        serial = movie_pipeline(MatchingTuplesClassifier()).run(document)
+        parallel = movie_pipeline(
+            MatchingTuplesClassifier(),
+            policy=ExecutionPolicy(workers=2, batch_size=1, backend="process"),
+        ).run(document)
+        assert parallel.pairs == serial.pairs
+        assert parallel.clusters == serial.clusters
+        assert parallel.to_xml() == serial.to_xml()
+
+    def test_unpicklable_classifier_falls_back_to_serial(self):
+        ods = [
+            od_from_pairs(0, [("The Matrix", "/m/movie[1]/title[1]")]),
+            od_from_pairs(1, [("The Matrix", "/m/movie[2]/title[1]")]),
+            od_from_pairs(2, [("Signs", "/m/movie[3]/title[1]")]),
+        ]
+        classifier = ThresholdClassifier(
+            lambda a, b: 1.0 if a.values() == b.values() else 0.0, 0.5
+        )
+        engine = ParallelClassifier(
+            classifier,
+            policy=ExecutionPolicy(workers=2, backend="process"),
+        )
+        pairs, compared = engine.run(ods, NoPruning())
+        assert engine.last_backend == "serial"  # lambda cannot be pickled
+        assert compared == 3
+        assert [(p.left, p.right) for p in pairs] == [(0, 1)]
+
+    def test_constant_factory_used_when_explicit(self):
+        ods = [
+            od_from_pairs(0, [("x", "/r/a[1]/v[1]")]),
+            od_from_pairs(1, [("x", "/r/a[2]/v[1]")]),
+        ]
+        classifier = MatchingTuplesClassifier()
+        engine = ParallelClassifier(
+            classifier,
+            policy=ExecutionPolicy(workers=2, backend="process"),
+            classifier_factory=ConstantClassifierFactory(classifier),
+        )
+        pairs, compared = engine.run(ods, NoPruning())
+        assert engine.last_backend == "process"
+        assert compared == 1
+        assert [(p.left, p.right) for p in pairs] == [(0, 1)]

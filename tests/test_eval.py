@@ -170,15 +170,12 @@ class TestSweeps:
         # At k=5 (did..year) precision must beat the did-only setting.
         assert sweep.precision("exp1", 5) > sweep.precision("exp1", 1)
 
-    def test_threshold_sweep_monotone_pairs(self):
-        sweep = run_dataset3_threshold_sweep(count=200, seed=3,
-                                             thresholds=(0.55, 0.7, 0.85))
+    def test_threshold_sweep_monotone_and_exact_pairs(self):
+        # One sweep covers both claims (it is a single detection run).
+        sweep = run_dataset3_threshold_sweep(count=250, seed=3,
+                                             thresholds=(0.55, 0.7, 0.85, 0.95))
         assert sweep.pairs_found[0.55] >= sweep.pairs_found[0.7]
         assert sweep.pairs_found[0.7] >= sweep.pairs_found[0.85]
-
-    def test_threshold_sweep_exact_pairs_counted(self):
-        sweep = run_dataset3_threshold_sweep(count=300, seed=3,
-                                             thresholds=(0.55, 0.95))
         assert sweep.exact_pairs_found[0.95] >= 1
 
     def test_filter_sweep_structure(self):

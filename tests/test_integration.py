@@ -30,22 +30,13 @@ from repro.framework import ThresholdClassifier, DetectionPipeline, CandidateDef
 from repro.xmlkit import parse
 
 
-@pytest.fixture(scope="module")
-def dataset1():
-    return build_dataset1(base_count=120, seed=7)
-
-
-@pytest.fixture(scope="module")
-def dataset2():
-    return build_dataset2(count=120, seed=13)
-
-
+@pytest.mark.slow
 class TestFig5Shape:
-    """Qualitative claims of Fig. 5 at n=240."""
+    """Qualitative claims of Fig. 5 at n=200."""
 
     @pytest.fixture(scope="class")
     def sweep(self):
-        dataset = build_dataset1(base_count=120, seed=7)
+        dataset = build_dataset1(base_count=100, seed=7)
         return run_heuristic_sweep(
             dataset,
             KClosestDescendants,
@@ -84,12 +75,13 @@ class TestFig5Shape:
             assert sweep.recall("exp1", k) > 0.8
 
 
+@pytest.mark.slow
 class TestFig6Shape:
     """Qualitative claims of Fig. 6 (two structurally different sources)."""
 
     @pytest.fixture(scope="class")
     def sweep(self):
-        dataset = build_dataset2(count=120, seed=13)
+        dataset = build_dataset2(count=100, seed=13)
         return run_heuristic_sweep(
             dataset,
             RDistantDescendants,
@@ -118,11 +110,16 @@ class TestFig6Shape:
         assert sweep.recall("exp1", 2) < 0.8
 
 
+@pytest.mark.slow
 class TestFig7Shape:
-    def test_precision_monotone_and_saturating(self):
-        sweep = run_dataset3_threshold_sweep(
-            count=600, seed=11, thresholds=(0.55, 0.65, 0.75, 0.85, 0.95)
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        # One run serves every threshold (the sweep filters scored pairs).
+        return run_dataset3_threshold_sweep(
+            count=400, seed=11, thresholds=(0.55, 0.65, 0.75, 0.85, 0.95)
         )
+
+    def test_precision_monotone_and_saturating(self, sweep):
         precisions = [sweep.precision[t] for t in sweep.thresholds]
         # generally increasing (allow small dips from discrete counts)
         assert precisions[-1] >= precisions[0]
@@ -131,10 +128,7 @@ class TestFig7Shape:
         found = [sweep.pairs_found[t] for t in sweep.thresholds]
         assert sorted(found, reverse=True) == found
 
-    def test_exact_duplicates_survive_all_thresholds(self):
-        sweep = run_dataset3_threshold_sweep(
-            count=600, seed=11, thresholds=(0.55, 0.95)
-        )
+    def test_exact_duplicates_survive_all_thresholds(self, sweep):
         assert sweep.exact_pairs_found[0.95] >= 10
 
 
@@ -152,7 +146,7 @@ class TestDogmatixVsBaselines:
 
     @pytest.fixture(scope="class")
     def ods_and_gold(self):
-        dataset = build_dataset1(base_count=80, seed=7)
+        dataset = build_dataset1(base_count=60, seed=7)
         config = EXPERIMENTS[0].config(KClosestDescendants(6))
         algo = DogmatiX(config)
         ods = algo.build_ods(dataset.sources, dataset.mapping, "DISC")
@@ -179,6 +173,7 @@ class TestDogmatixVsBaselines:
         dog_metrics = pair_metrics(dog_result.duplicate_id_pairs(), gold)
         assert dog_metrics.f1 >= vsm_metrics.f1
 
+    @pytest.mark.slow
     def test_snm_window_misses_pairs(self, ods_and_gold):
         """The sorting-key problem: a small window misses duplicates
         that exhaustive comparison finds."""
