@@ -1,0 +1,206 @@
+"""Session reuse vs per-run rebuild across a θ_cand sweep.
+
+The session API exists so standing structures — object descriptions
+and the :class:`~repro.core.index.CorpusIndex` with its q-gram value
+indexes — are built once per corpus and shared by every query.  This
+benchmark quantifies that on a 5-point θ_cand sweep over Dataset 1:
+
+* **rebuild** — one fresh :class:`~repro.api.DetectionSession` per
+  threshold (what the one-shot ``DogmatiX.run`` path does);
+* **reuse**  — one session, ``detect(theta_cand=θ)`` per threshold
+  (what :func:`repro.eval.run_threshold_sweep` does).
+
+Asserted invariants: both strategies report identical duplicate pairs
+at every threshold, the reuse strategy builds exactly **one** corpus
+index for the whole sweep (rebuild builds one per point), and — at
+default scale — reuse is faster in wall-clock.
+
+Standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_session.py --smoke
+    PYTHONPATH=src python benchmarks/bench_session.py
+
+or through pytest like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_session.py -q
+
+Scale via ``REPRO_D1_BASE`` (default 250).  ``--smoke`` shrinks the
+corpus and asserts index-build counts and parity only (timing on tiny
+corpora is noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import time
+from unittest import mock
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import Corpus, DetectionSession
+from repro.core import KClosestDescendants
+from repro.core.index import CorpusIndex
+from repro.eval import EXPERIMENTS, build_dataset1
+
+THETAS = (0.55, 0.60, 0.65, 0.70, 0.75)
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+class _IndexCounter:
+    """Counts CorpusIndex constructions without changing behavior."""
+
+    def __init__(self) -> None:
+        self.builds = 0
+        self._original = CorpusIndex.__init__
+
+    def __enter__(self) -> "_IndexCounter":
+        counter = self
+
+        def counted(index_self, *args, **kwargs):
+            counter.builds += 1
+            counter._original(index_self, *args, **kwargs)
+
+        self._patch = mock.patch.object(CorpusIndex, "__init__", counted)
+        self._patch.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._patch.__exit__(*exc)
+
+
+def _config(theta_cand: float):
+    return EXPERIMENTS[0].config(KClosestDescendants(6), theta_cand=theta_cand)
+
+
+def run_session_bench(base_count: int, seed: int = 7, thetas=THETAS) -> dict:
+    """Run both strategies, count index builds, compare results."""
+    dataset = build_dataset1(base_count, seed)
+
+    with _IndexCounter() as counter:
+        started = time.perf_counter()
+        rebuild_pairs = {}
+        for theta in thetas:
+            session = DetectionSession(  # fresh per point = the old path
+                Corpus(dataset.sources),
+                dataset.mapping,
+                dataset.real_world_type,
+                _config(theta),
+            )
+            rebuild_pairs[theta] = session.detect().duplicate_id_pairs()
+        rebuild_seconds = time.perf_counter() - started
+        rebuild_builds = counter.builds
+
+    with _IndexCounter() as counter:
+        started = time.perf_counter()
+        session = DetectionSession(
+            Corpus(dataset.sources),
+            dataset.mapping,
+            dataset.real_world_type,
+            _config(min(thetas)),
+        )
+        reuse_pairs = {
+            theta: session.detect(theta_cand=theta).duplicate_id_pairs()
+            for theta in thetas
+        }
+        reuse_seconds = time.perf_counter() - started
+        reuse_builds = counter.builds
+
+    return {
+        "ods": len(session.ods),
+        "thetas": list(thetas),
+        "identical": {t: rebuild_pairs[t] == reuse_pairs[t] for t in thetas},
+        "duplicates": {t: len(reuse_pairs[t]) for t in thetas},
+        "rebuild_seconds": rebuild_seconds,
+        "reuse_seconds": reuse_seconds,
+        "rebuild_builds": rebuild_builds,
+        "reuse_builds": reuse_builds,
+        "speedup": rebuild_seconds / reuse_seconds if reuse_seconds else 0.0,
+    }
+
+
+def format_table(bench: dict) -> str:
+    lines = [
+        f"{bench['ods']} ODs, {len(bench['thetas'])}-point theta_cand sweep",
+        f"{'theta':>7} {'duplicates':>11} {'parity':>7}",
+    ]
+    for theta in bench["thetas"]:
+        lines.append(
+            f"{theta:>7.2f} {bench['duplicates'][theta]:>11} "
+            f"{'ok' if bench['identical'][theta] else 'FAIL':>7}"
+        )
+    lines.append(
+        f"rebuild: {bench['rebuild_seconds']:.2f}s "
+        f"({bench['rebuild_builds']} index builds)   "
+        f"reuse: {bench['reuse_seconds']:.2f}s "
+        f"({bench['reuse_builds']} index build)   "
+        f"speedup: {bench['speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def check(bench: dict, require_speedup: bool) -> None:
+    for theta, identical in bench["identical"].items():
+        assert identical, f"session reuse diverged at theta_cand={theta}"
+    assert any(bench["duplicates"].values()), "sweep found no duplicates at all"
+    points = len(bench["thetas"])
+    assert bench["reuse_builds"] == 1, (
+        f"session reuse built the corpus index {bench['reuse_builds']} times "
+        f"across {points} sweep points; expected exactly 1"
+    )
+    assert bench["rebuild_builds"] == points, (
+        f"rebuild baseline built {bench['rebuild_builds']} indexes for "
+        f"{points} points; the comparison is off"
+    )
+    if require_speedup:
+        assert bench["speedup"] > 1.0, (
+            f"session reuse must beat per-run rebuild; measured "
+            f"{bench['speedup']:.2f}x"
+        )
+
+
+def test_session_reuse(report):
+    """Pytest entry point, consistent with the other bench files."""
+    base = scale("REPRO_D1_BASE", 250)
+    bench = run_session_bench(base)
+    report(
+        f"Session reuse vs rebuild: 5-point theta sweep on Dataset 1 "
+        f"(base={base})",
+        format_table(bench),
+    )
+    check(bench, require_speedup=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus; assert parity + index-build counts only",
+    )
+    parser.add_argument(
+        "--base",
+        type=int,
+        default=None,
+        help="Dataset 1 base CDs (default: REPRO_D1_BASE or 250; smoke: 40)",
+    )
+    args = parser.parse_args(argv)
+
+    base = args.base or (40 if args.smoke else scale("REPRO_D1_BASE", 250))
+    bench = run_session_bench(base)
+    print(format_table(bench))
+    check(bench, require_speedup=not args.smoke)
+    print("session reuse parity ok; corpus index built once for the sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

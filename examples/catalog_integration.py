@@ -18,7 +18,8 @@ Run:  python examples/catalog_integration.py [count]
 
 import sys
 
-from repro.core import DogmatiX, RDistantDescendants
+from repro.api import Corpus, DetectionSession
+from repro.core import RDistantDescendants
 from repro.eval import (
     EXPERIMENTS_BY_NAME,
     build_dataset2,
@@ -32,13 +33,14 @@ def main(count: int = 150) -> None:
     dataset = build_dataset2(count=count, seed=13)
     print(dataset.description)
     print()
+    corpus = Corpus(dataset.sources)
     print(
         format_comparable_elements_table(
             [
-                ("IMDB", dataset.sources[0].resolved_schema(), "/imdb/movie"),
+                ("IMDB", corpus.schema_of(dataset.sources[0]), "/imdb/movie"),
                 (
                     "FILMDIENST",
-                    dataset.sources[1].resolved_schema(),
+                    corpus.schema_of(dataset.sources[1]),
                     "/filmdienst/movie",
                 ),
             ]
@@ -46,33 +48,33 @@ def main(count: int = 150) -> None:
     )
     print()
 
+    # One corpus, one session per radius (the descriptions change with
+    # the heuristic, so the index is per-session; the schemas are not).
+    sessions = {}
     for radius in (1, 2, 4):
         config = EXPERIMENTS_BY_NAME["exp1"].config(RDistantDescendants(radius))
-        algorithm = DogmatiX(config)
-        ods = algorithm.build_ods(dataset.sources, dataset.mapping, "MOVIE")
-        result = algorithm.detect(ods, dataset.mapping, "MOVIE")
-        metrics = pair_metrics(result.duplicate_id_pairs(), gold_pairs(ods))
+        session = DetectionSession(corpus, dataset.mapping, "MOVIE", config)
+        sessions[radius] = session
+        result = session.detect()
+        metrics = pair_metrics(
+            result.duplicate_id_pairs(), gold_pairs(session.ods)
+        )
         print(f"r={radius}: {metrics}   ({result.compared_pairs} comparisons)")
 
     print()
     print("A cross-source duplicate explained (r=2):")
-    config = EXPERIMENTS_BY_NAME["exp1"].config(RDistantDescendants(2))
-    algorithm = DogmatiX(config)
-    ods = algorithm.build_ods(dataset.sources, dataset.mapping, "MOVIE")
-    algorithm.detect(ods, dataset.mapping, "MOVIE")
-    similarity = algorithm.last_similarity
-    assert similarity is not None
+    session = sessions[2]
     # object 0 is the first IMDB movie; find its Film-Dienst twin
     gold = {
-        tuple(sorted(pair)) for pair in gold_pairs(ods)
+        tuple(sorted(pair)) for pair in gold_pairs(session.ods)
     }
     twin = next(b for a, b in gold if a == 0)
-    explanation = similarity.explain(ods[0], ods[twin])
-    for pair in explanation["similar_pairs"]:
+    explanation = session.explain(0, twin)
+    for pair in explanation.similar_pairs:
         print(f"  similar:       {pair[0]} ~ {pair[1]}")
-    for pair in explanation["contradictory_pairs"]:
+    for pair in explanation.contradictory_pairs:
         print(f"  contradictory: {pair[0]} vs {pair[1]}")
-    print(f"  similarity = {explanation['similarity']:.3f}")
+    print(f"  similarity = {explanation.similarity:.3f}")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,8 @@ Run:  python examples/cd_deduplication.py [base_count]
 
 import sys
 
-from repro.core import DogmatiX, KClosestDescendants
+from repro.api import Corpus, DetectionSession
+from repro.core import KClosestDescendants
 from repro.eval import (
     EXPERIMENTS_BY_NAME,
     build_dataset1,
@@ -29,7 +30,8 @@ def main(base_count: int = 200) -> None:
     dataset = build_dataset1(base_count=base_count, seed=7)
     print(dataset.description)
     print()
-    schema = dataset.sources[0].resolved_schema()
+    corpus = Corpus(dataset.sources)
+    schema = corpus.schema_of(dataset.sources[0])
     print(format_schema_elements_table(schema, "/freedb/disc"))
     print()
 
@@ -38,24 +40,21 @@ def main(base_count: int = 200) -> None:
     config = experiment.config(
         KClosestDescendants(6), use_object_filter=True
     )
-    algorithm = DogmatiX(config)
+    session = DetectionSession(corpus, dataset.mapping, "DISC", config)
 
-    ods = algorithm.build_ods(dataset.sources, dataset.mapping, "DISC")
-    result = algorithm.detect(ods, dataset.mapping, "DISC")
+    result = session.detect()
     print(result.summary())
 
-    metrics = pair_metrics(result.duplicate_id_pairs(), gold_pairs(ods))
+    metrics = pair_metrics(result.duplicate_id_pairs(), gold_pairs(session.ods))
     print(f"against gold standard: {metrics}")
     print()
 
-    index = algorithm.last_index
-    assert index is not None
-    stats = index.statistics()
+    stats = session.index.statistics()
     print(
         f"corpus index: {stats['terms']} terms over {stats['kinds']} kinds, "
         f"{stats['distinct_values']} distinct values"
     )
-    object_filter = algorithm.last_filter
+    object_filter = session.object_filter
     if object_filter is not None:
         print(
             f"object filter pruned {object_filter.pruned_count} of "

@@ -7,17 +7,29 @@ heuristics and softIDF similarity measure, the substrates they need
 (XML stack, string similarity), dataset generators, baselines, and an
 evaluation harness regenerating the paper's figures.
 
-Quickstart::
+Quickstart (session API — build once, query many times)::
 
-    from repro import DogmatiX, DogmatixConfig, Source, TypeMapping
+    from repro import DetectionSession, Source, TypeMapping
     from repro.xmlkit import parse
 
     mapping = TypeMapping().add("MOVIE", "/moviedoc/movie") \
                            .add("TITLE", "/moviedoc/movie/title")
-    result = DogmatiX().run(Source(parse(xml_text)), mapping, "MOVIE")
-    print(result.to_xml())
+    session = DetectionSession(Source(parse(xml_text)), mapping, "MOVIE")
+    print(session.detect().to_xml())        # batch run
+    print(session.match(0))                 # partners of one object
+
+The legacy one-shot call ``DogmatiX(config).run(...)`` still works but
+is deprecated; it is a shim over the same session machinery.
 """
 
+from .api import (
+    Corpus,
+    DetectionSession,
+    Explanation,
+    IncrementalUpdate,
+    Match,
+    RunSpec,
+)
 from .core import (
     DogmatiX,
     DogmatixConfig,
@@ -53,10 +65,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CandidateDefinition",
+    "Corpus",
     "DescriptionDefinition",
     "DetectionPipeline",
     "DetectionResult",
+    "DetectionSession",
     "DogmatiX",
+    "Explanation",
+    "IncrementalUpdate",
+    "Match",
+    "RunSpec",
     "DogmatixConfig",
     "DogmatixSimilarity",
     "ExecutionPolicy",

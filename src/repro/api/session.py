@@ -1,0 +1,467 @@
+"""DetectionSession: a prepared, reusable detection run.
+
+The one-shot ``DogmatiX(config).run(...)`` rebuilds schema inference,
+object descriptions, the :class:`~repro.core.index.CorpusIndex`, and
+the classifier on every call.  A session builds them **once** per
+``(corpus, mapping, real-world type, config)`` and then answers many
+questions against the standing structures:
+
+* :meth:`DetectionSession.detect` — a full batch run through the
+  execution engine (bit-identical to the one-shot call), optionally at
+  an overridden ``theta_cand`` so threshold sweeps amortize the index;
+* :meth:`DetectionSession.match` — single-object duplicate lookup: the
+  partners a full ``detect()`` would report for that object, found via
+  the index's similar-value groups instead of a corpus-wide pass;
+* :meth:`DetectionSession.extend` — incremental ingestion of a new
+  source, clustered against prime representatives
+  (:class:`~repro.framework.incremental.IncrementalDeduplicator`, the
+  merge/purge adaptation the paper plans to adopt);
+* :meth:`DetectionSession.explain` — an :class:`Explanation` value per
+  pair, replacing the mutable ``last_*`` attributes of the old API.
+
+The session is the seam future sharding/caching work plugs into: the
+index, similarity, and classifier are built in one place and shared by
+every entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from ..core import DogmatixConfig, Source
+from ..core.dogmatix import DogmatixClassifierFactory
+from ..core.index import CorpusIndex
+from ..core.object_filter import ObjectFilter
+from ..core.similarity import DogmatixSimilarity
+from ..engine import ExecutionPolicy
+from ..framework import (
+    CandidateDefinition,
+    DescriptionDefinition,
+    DetectionPipeline,
+    DetectionResult,
+    IncrementalDeduplicator,
+    ObjectDescription,
+    ObjectFilterPruning,
+    SharedTupleBlocking,
+    ThresholdClassifier,
+    TypeMapping,
+)
+from ..xmlkit import Element, strip_positions
+from .corpus import Corpus, SourceLike
+
+
+@dataclass(frozen=True)
+class Match:
+    """One duplicate partner found by :meth:`DetectionSession.match`."""
+
+    object_id: int
+    similarity: float
+    path: str
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why one pair scored the way it did (immutable snapshot).
+
+    Replaces the old mutable ``last_similarity``-and-poke-at-it
+    introspection: every field is computed at call time from the
+    session's standing index.
+    """
+
+    left: int
+    right: int
+    similarity: float
+    similar_pairs: tuple[tuple[str, str], ...]
+    contradictory_pairs: tuple[tuple[str, str], ...]
+    non_specified_left: tuple[str, ...]
+    non_specified_right: tuple[str, ...]
+    set_soft_idf_similar: float
+    set_soft_idf_contradictory: float
+
+    def lines(self) -> list[str]:
+        """Human-readable breakdown (one string per line)."""
+        out = [f"similarity({self.left}, {self.right}) = {self.similarity:.3f}"]
+        for a, b in self.similar_pairs:
+            out.append(f"  similar:        {a}  ~  {b}")
+        for a, b in self.contradictory_pairs:
+            out.append(f"  contradictory:  {a}  vs  {b}")
+        for t in self.non_specified_left:
+            out.append(f"  non-specified (left only, no penalty): {t}")
+        for t in self.non_specified_right:
+            out.append(f"  non-specified (right only, no penalty): {t}")
+        return out
+
+
+@dataclass(frozen=True)
+class IncrementalUpdate:
+    """Result of one :meth:`DetectionSession.extend` call."""
+
+    added: tuple[ObjectDescription, ...]
+    #: ``(object_id, cluster_index)`` per added object, in stream order.
+    assignments: tuple[tuple[int, int], ...]
+    #: All clusters with >= 2 members after this update.
+    duplicate_clusters: tuple[tuple[int, ...], ...]
+
+
+class DetectionSession:
+    """A detection run prepared once and queried many times.
+
+    Parameters
+    ----------
+    corpus:
+        A :class:`Corpus`, or anything a corpus accepts (a source, a
+        document, or a sequence of either).
+    mapping:
+        The real-world type mapping *M*.
+    real_world_type:
+        The candidate type to deduplicate.
+    config:
+        All DogmatiX knobs; defaults to the paper configuration.
+    """
+
+    def __init__(
+        self,
+        corpus: Union[Corpus, SourceLike, Iterable[SourceLike]],
+        mapping: TypeMapping,
+        real_world_type: str,
+        config: Optional[DogmatixConfig] = None,
+        *,
+        ods: Optional[Sequence[ObjectDescription]] = None,
+    ) -> None:
+        self.corpus = corpus if isinstance(corpus, Corpus) else Corpus(corpus)
+        self.mapping = mapping
+        self.real_world_type = real_world_type
+        self.config = config or DogmatixConfig()
+        self._ods: list[ObjectDescription] = (
+            list(ods)
+            if ods is not None
+            else self.corpus.generate_ods(mapping, real_world_type, self.config)
+        )
+        self._by_id: dict[int, ObjectDescription] = {
+            od.object_id: od for od in self._ods
+        }
+        self._indexed_ids = frozenset(self._by_id)
+        self._index = CorpusIndex(self._ods, mapping, self.config.theta_tuple)
+        self._similarity = DogmatixSimilarity(
+            self._index, semantics=self.config.similar_semantics
+        )
+        self._classifier = ThresholdClassifier(
+            self._similarity,
+            self.config.theta_cand,
+            possible_threshold=self.config.possible_threshold,
+        )
+        #: How many times this session built a corpus index (always 1;
+        #: exposed so benchmarks can assert amortization).
+        self.index_builds = 1
+        self._kept_ids: Optional[frozenset[int]] = None
+        self._incremental: Optional[IncrementalDeduplicator] = None
+        # Externally supplied ODs need not be numbered 0..n-1.
+        self._next_id = max(self._by_id, default=-1) + 1
+        self._last_filter: Optional[ObjectFilter] = None
+
+    @classmethod
+    def from_ods(
+        cls,
+        ods: Sequence[ObjectDescription],
+        mapping: TypeMapping,
+        real_world_type: str,
+        config: Optional[DogmatixConfig] = None,
+    ) -> "DetectionSession":
+        """Session over externally prepared ODs (no corpus generation).
+
+        Used by the legacy ``DogmatiX.detect`` shim and by pipelines
+        that build descriptions themselves (Definition 2 allows ODs not
+        constrained by any data source).  ``extend``/``match`` with XML
+        elements need corpus schemas, so add sources before using them.
+        """
+        return cls(Corpus(), mapping, real_world_type, config, ods=ods)
+
+    # ------------------------------------------------------------------
+    # Standing structures
+    # ------------------------------------------------------------------
+    @property
+    def ods(self) -> Sequence[ObjectDescription]:
+        """The indexed candidate set (excluding incremental extensions)."""
+        return tuple(self._ods)
+
+    @property
+    def index(self) -> CorpusIndex:
+        return self._index
+
+    @property
+    def similarity(self) -> DogmatixSimilarity:
+        return self._similarity
+
+    @property
+    def classifier(self) -> ThresholdClassifier:
+        return self._classifier
+
+    @property
+    def object_filter(self) -> Optional[ObjectFilter]:
+        """The filter of the most recent :meth:`detect` run, if any."""
+        return self._last_filter
+
+    @property
+    def incremental(self) -> Optional[IncrementalDeduplicator]:
+        """The incremental deduplicator, once :meth:`extend` has run."""
+        return self._incremental
+
+    def object_path(self, object_id: int) -> str:
+        od = self._by_id.get(object_id)
+        if od is None or od.element is None:
+            return f"object:{object_id}"
+        return od.element.absolute_path()
+
+    # ------------------------------------------------------------------
+    # Batch detection
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        theta_cand: Optional[float] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> DetectionResult:
+        """Steps 4-6 against the standing index (engine-batched).
+
+        ``theta_cand`` overrides the classification threshold for this
+        run only — the index and similarity (which depend on
+        ``theta_tuple``, not ``theta_cand``) are reused, so a threshold
+        sweep pays for index construction once.  ``policy`` overrides
+        the execution policy the same way.
+        """
+        theta = self.config.theta_cand if theta_cand is None else theta_cand
+        classifier = (
+            self._classifier
+            if theta == self.config.theta_cand
+            else ThresholdClassifier(
+                self._similarity,
+                theta,
+                possible_threshold=self.config.possible_threshold,
+            )
+        )
+        pair_source = None
+        object_filter = None
+        if self.config.use_blocking:
+            pair_source = SharedTupleBlocking(self._index.block_keys)
+        if self.config.use_object_filter:
+            object_filter = ObjectFilter(self._index, theta)
+            pair_source = ObjectFilterPruning(object_filter.keep, inner=pair_source)
+
+        pipeline = DetectionPipeline(
+            candidate_definition=CandidateDefinition(
+                self.real_world_type,
+                tuple(sorted(self.mapping.xpaths_of(self.real_world_type))),
+            ),
+            description_definition=_DUMMY_DESCRIPTION,
+            classifier=classifier,
+            pair_source=pair_source,
+            policy=policy or self.config.execution,
+            classifier_factory=DogmatixClassifierFactory(
+                mapping=self.mapping,
+                theta_tuple=self.config.theta_tuple,
+                theta_cand=theta,
+                possible_threshold=self.config.possible_threshold,
+                semantics=self.config.similar_semantics,
+            ),
+        )
+        result = pipeline.detect(self._ods)
+        self._last_filter = object_filter
+        return result
+
+    # ------------------------------------------------------------------
+    # Single-object lookup
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        target: Union[int, ObjectDescription, Element],
+        theta_cand: Optional[float] = None,
+        include_possible: bool = False,
+    ) -> list[Match]:
+        """Duplicate partners of one object against the standing index.
+
+        Returns exactly the partners a full :meth:`detect` (at the same
+        threshold) reports for that object, without running the batch:
+        candidates come from the index's similar-value groups — a pair
+        without a directly similar comparable tuple has ``ODT≈ = ∅``
+        and similarity 0, so nothing above a positive threshold is ever
+        missed.  The object filter, when enabled, is honored both for
+        the queried object and for its candidates.
+
+        ``target`` may be an object id of the candidate set, any
+        :class:`ObjectDescription` (also external ones), or an XML
+        element — a corpus element resolves to its OD; a foreign
+        element gets an OD generated on the fly from the session's
+        description selection.
+
+        Matches are sorted by descending similarity; with
+        ``include_possible`` pairs in the C2 band (when configured) are
+        appended after the duplicates.
+        """
+        theta = self.config.theta_cand if theta_cand is None else theta_cand
+        od = self._resolve_od(target)
+        in_index = (
+            od.object_id in self._indexed_ids
+            and self._by_id.get(od.object_id) is od
+        )
+        kept = self._kept_for(theta)
+        if kept is not None:
+            if in_index and od.object_id not in kept:
+                return []  # detect() prunes every pair of this object
+            if not in_index and not ObjectFilter(self._index, theta).keep(od):
+                return []
+        candidate_ids: set[int] = set()
+        for odt in od.tuples:
+            key = self._index.key_of(odt.name)
+            candidate_ids |= self._index.objects_with_similar(
+                key, odt.value, exclude=od.object_id if in_index else None
+            )
+        if kept is not None:
+            candidate_ids &= kept
+        possible = self.config.possible_threshold
+        matches: list[Match] = []
+        for candidate_id in sorted(candidate_ids):
+            score = self._similarity(od, self._by_id[candidate_id])
+            if score > theta or (
+                include_possible and possible is not None and score > possible
+            ):
+                matches.append(
+                    Match(candidate_id, score, self.object_path(candidate_id))
+                )
+        matches.sort(key=lambda match: (-match.similarity, match.object_id))
+        return matches
+
+    def _kept_for(self, theta: float) -> Optional[frozenset[int]]:
+        """Ids surviving the object filter at ``theta`` (None = no filter)."""
+        if not self.config.use_object_filter:
+            return None
+        if theta == self.config.theta_cand and self._kept_ids is not None:
+            return self._kept_ids
+        object_filter = ObjectFilter(self._index, theta)
+        kept = frozenset(
+            od.object_id for od in self._ods if object_filter.keep(od)
+        )
+        if theta == self.config.theta_cand:
+            self._kept_ids = kept
+        return kept
+
+    def _resolve_od(
+        self, target: Union[int, ObjectDescription, Element]
+    ) -> ObjectDescription:
+        if isinstance(target, ObjectDescription):
+            return target
+        if isinstance(target, int):
+            od = self._by_id.get(target)
+            if od is None:
+                raise KeyError(f"no object with id {target} in this session")
+            return od
+        if isinstance(target, Element):
+            for od in self._ods:
+                if od.element is target:
+                    return od
+            return self._describe_element(target)
+        raise TypeError(
+            f"cannot match a {type(target).__name__}; pass an object id, "
+            "an ObjectDescription, or an XML element"
+        )
+
+    def _describe_element(self, element: Element) -> ObjectDescription:
+        """OD for a foreign element of the candidate type."""
+        generic = strip_positions(element.absolute_path())
+        if generic not in self.mapping.xpaths_of(self.real_world_type):
+            raise ValueError(
+                f"element at {generic!r} is not a {self.real_world_type!r} "
+                "candidate under this session's mapping"
+            )
+        for source in self.corpus:
+            declaration = self.corpus.schema_of(source).get(generic)
+            if declaration is not None:
+                description = self.config.selector.description_definition(
+                    declaration, include_empty=self.config.include_empty
+                )
+                return description.generate_od(-1, element)
+        raise ValueError(
+            f"no corpus schema declares {generic!r}; add a source with "
+            "that structure first"
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental ingestion
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        source: SourceLike,
+        check_members_on_miss: bool = False,
+    ) -> IncrementalUpdate:
+        """Ingest a new source incrementally (merge/purge style).
+
+        The source's candidates are clustered against the *prime
+        representatives* of the clusters formed so far — comparisons
+        grow with the number of clusters, not with corpus size.  The
+        first call seeds the stream with the session's existing
+        candidate set, so extension clusters are consistent with the
+        corpus.  The standing index (and with it the softIDF statistics
+        the similarity uses) remains a snapshot of the session's
+        construction-time corpus; rebuild a session to re-anchor it.
+        """
+        if self._incremental is None:
+            self._incremental = IncrementalDeduplicator(
+                self._similarity,
+                self.config.theta_cand,
+                check_members_on_miss=check_members_on_miss,
+            )
+            self._incremental.add_all(self._ods)
+        added_source = self.corpus.add_source(source)
+        new_ods = self.corpus.generate_ods(
+            self.mapping,
+            self.real_world_type,
+            self.config,
+            sources=[added_source],
+            next_id=self._next_id,
+        )
+        self._next_id += len(new_ods)
+        assignments: list[tuple[int, int]] = []
+        for od in new_ods:
+            self._by_id[od.object_id] = od
+            assignments.append((od.object_id, self._incremental.add(od)))
+        return IncrementalUpdate(
+            added=tuple(new_ods),
+            assignments=tuple(assignments),
+            duplicate_clusters=tuple(
+                tuple(cluster)
+                for cluster in self._incremental.duplicate_clusters()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        left: Union[int, ObjectDescription, Element],
+        right: Union[int, ObjectDescription, Element],
+    ) -> Explanation:
+        """An immutable similarity breakdown for one pair."""
+        od_left = self._resolve_od(left)
+        od_right = self._resolve_od(right)
+        raw = self._similarity.explain(od_left, od_right)
+        return Explanation(
+            left=od_left.object_id,
+            right=od_right.object_id,
+            similarity=float(raw["similarity"]),  # type: ignore[arg-type]
+            similar_pairs=tuple(raw["similar_pairs"]),  # type: ignore[arg-type]
+            contradictory_pairs=tuple(raw["contradictory_pairs"]),  # type: ignore[arg-type]
+            non_specified_left=tuple(raw["non_specified_left"]),  # type: ignore[arg-type]
+            non_specified_right=tuple(raw["non_specified_right"]),  # type: ignore[arg-type]
+            set_soft_idf_similar=float(raw["setSoftIDF_similar"]),  # type: ignore[arg-type]
+            set_soft_idf_contradictory=float(raw["setSoftIDF_contradictory"]),  # type: ignore[arg-type]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DetectionSession {self.real_world_type!r}: "
+            f"{len(self._ods)} candidates, {len(self.corpus)} sources>"
+        )
+
+
+# detect() receives ready-made ODs; the pipeline never executes this.
+_DUMMY_DESCRIPTION = DescriptionDefinition((".",))

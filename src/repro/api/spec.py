@@ -1,0 +1,185 @@
+"""RunSpec: one full detection run as a serializable value.
+
+A :class:`RunSpec` names everything a run needs — documents, schemas,
+the mapping file, the candidate type, and every knob of
+:class:`~repro.core.config.DogmatixConfig` plus the execution policy —
+using registry strings only, so it round-trips through JSON without
+loss (``RunSpec.from_json(spec.to_json()).to_config() ==
+spec.to_config()``, execution policy included).
+
+Specs are the exchange format between the CLI (``--spec run.json``),
+services that queue detection jobs, and the session API:
+``RunSpec.load(path).build_session()`` yields a ready
+:class:`~repro.api.session.DetectionSession`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, fields
+from typing import Optional
+
+from ..core import DogmatixConfig, Source
+from ..engine import DEFAULT_BATCH_SIZE, ExecutionPolicy
+from ..framework import TypeMapping, mapping_from_xml
+from ..xmlkit import parse_file, parse_schema_file
+from .registries import BACKENDS, SEMANTICS, condition_from_spec, heuristic_from_spec
+
+
+@dataclass
+class RunSpec:
+    """A complete, serializable description of one detection run.
+
+    Attributes
+    ----------
+    documents:
+        XML document paths (at least one).
+    mapping:
+        Path of the mapping *M* file (XML).
+    real_world_type:
+        The candidate type to deduplicate.
+    schemas:
+        XSD paths paired with ``documents`` positionally: the i-th
+        schema belongs to the i-th document; documents beyond the list
+        get inferred schemas.  More schemas than documents is an error.
+    heuristic / conditions:
+        Registry spec strings (see :mod:`repro.api.registries`), e.g.
+        ``"kclosest:6"`` and ``"sdt,me"``.
+    theta_tuple ... similar_semantics:
+        The corresponding :class:`DogmatixConfig` fields.
+    workers / batch_size / backend:
+        The execution policy.  ``backend=None`` derives it from the
+        worker count (``process`` when > 1); ``workers=0`` means all
+        cores.
+    """
+
+    documents: list[str]
+    mapping: str
+    real_world_type: str
+    schemas: list[str] = field(default_factory=list)
+    heuristic: str = "kclosest:6"
+    conditions: Optional[str] = None
+    theta_tuple: float = 0.15
+    theta_cand: float = 0.55
+    use_object_filter: bool = True
+    use_blocking: bool = True
+    include_empty: bool = False
+    possible_threshold: Optional[float] = None
+    similar_semantics: str = "matching"
+    workers: int = 1
+    batch_size: int = DEFAULT_BATCH_SIZE
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.documents:
+            raise ValueError("RunSpec needs at least one document")
+        if len(self.schemas) > len(self.documents):
+            raise ValueError(
+                f"got {len(self.schemas)} schemas for {len(self.documents)} "
+                "documents; schemas pair with documents positionally"
+            )
+        heuristic_from_spec(self.heuristic)  # validate eagerly
+        condition_from_spec(self.conditions)
+        SEMANTICS.get(self.similar_semantics)
+        if self.backend is not None:
+            BACKENDS.get(self.backend)
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    # ------------------------------------------------------------------
+    # Config / policy
+    # ------------------------------------------------------------------
+    def execution_policy(self) -> ExecutionPolicy:
+        """The execution policy this spec describes."""
+        if self.backend is None:
+            return ExecutionPolicy.for_workers(self.workers, self.batch_size)
+        workers = self.workers or (os.cpu_count() or 1)
+        return ExecutionPolicy(
+            workers=workers, batch_size=self.batch_size, backend=self.backend
+        )
+
+    def to_config(self) -> DogmatixConfig:
+        """The :class:`DogmatixConfig` this spec describes."""
+        return DogmatixConfig(
+            heuristic=heuristic_from_spec(self.heuristic),
+            condition=condition_from_spec(self.conditions),
+            theta_tuple=self.theta_tuple,
+            theta_cand=self.theta_cand,
+            use_object_filter=self.use_object_filter,
+            use_blocking=self.use_blocking,
+            include_empty=self.include_empty,
+            possible_threshold=self.possible_threshold,
+            similar_semantics=SEMANTICS.canonical_name(self.similar_semantics),
+            execution=self.execution_policy(),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RunSpec keys: {', '.join(unknown)}")
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("RunSpec JSON must be an object")
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "RunSpec":
+        """Read a spec file; relative file paths resolve against it."""
+        with open(path, encoding="utf-8") as handle:
+            spec = cls.from_json(handle.read())
+        base = os.path.dirname(os.path.abspath(path))
+        spec.documents = [_resolve(base, p) for p in spec.documents]
+        spec.schemas = [_resolve(base, p) for p in spec.schemas]
+        spec.mapping = _resolve(base, spec.mapping)
+        return spec
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def load_sources(self) -> list[Source]:
+        """Parse the documents (and their schemas, where given)."""
+        parsed_schemas = [parse_schema_file(path) for path in self.schemas]
+        sources = []
+        for index, path in enumerate(self.documents):
+            schema = parsed_schemas[index] if index < len(parsed_schemas) else None
+            sources.append(Source(parse_file(path), schema))
+        return sources
+
+    def load_mapping(self) -> TypeMapping:
+        with open(self.mapping, encoding="utf-8") as handle:
+            return mapping_from_xml(handle.read())
+
+    def build_session(self):
+        """A ready :class:`~repro.api.session.DetectionSession`."""
+        from .session import DetectionSession
+
+        return DetectionSession(
+            self.load_sources(),
+            self.load_mapping(),
+            self.real_world_type,
+            self.to_config(),
+        )
+
+
+def _resolve(base: str, path: str) -> str:
+    return path if os.path.isabs(path) else os.path.join(base, path)

@@ -1,13 +1,20 @@
 """Command-line interface.
 
     python -m repro.cli dedup DOCUMENT... --mapping MAPPING.xml --type T
+    python -m repro.cli dedup --spec run.json
+    python -m repro.cli match --spec run.json --object-id N
     python -m repro.cli suggest DOCUMENT [--schema SCHEMA.xsd]
-    python -m repro.cli example
+    python -m repro.cli example [--write DIR]
 
-``dedup`` runs DogmatiX over one or more XML documents and writes the
-Fig. 3 dupcluster document; ``suggest`` ranks candidate element types
-of a document's (inferred or given) schema; ``example`` replays the
-paper's running example.
+``dedup`` runs a detection session over one or more XML documents and
+writes the Fig. 3 dupcluster document; ``match`` looks up the duplicate
+partners of a single object against the session's standing index;
+``suggest`` ranks candidate element types of a document's (inferred or
+given) schema; ``example`` replays the paper's running example (or,
+with ``--write``, emits it as files plus a ready ``run.json`` spec).
+
+``--spec`` loads a serialized :class:`repro.api.RunSpec`; explicit
+flags override the spec's fields.
 """
 
 from __future__ import annotations
@@ -16,52 +23,31 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .core import (
-    DogmatiX,
-    DogmatixConfig,
-    KClosestDescendants,
-    RDistantAncestors,
-    RDistantDescendants,
-    Source,
-    c_and,
-    c_cm,
-    c_me,
-    c_sdt,
-    c_se,
-    h_or,
+from .api import (
+    DetectionSession,
+    RunSpec,
+    condition_from_spec,
+    heuristic_from_spec,
 )
+from .api.registries import SEMANTICS
 from .core.candidates_auto import suggest_candidates
-from .engine import DEFAULT_BATCH_SIZE, ExecutionPolicy
-from .framework import mapping_from_xml
+from .engine import DEFAULT_BATCH_SIZE
 from .xmlkit import infer_schema, parse_file, parse_schema_file
-
-_CONDITIONS = {"cm": c_cm, "sdt": c_sdt, "me": c_me, "se": c_se}
 
 
 def _parse_heuristic(spec: str):
-    """Parse ``kclosest:6``, ``rdistant:2``, ``ancestors:1``, and
-    ``+``-joined unions like ``rdistant:1+ancestors:1``."""
-    parts = spec.split("+")
-    heuristics = []
-    for part in parts:
-        name, _, raw = part.partition(":")
-        if not raw or not raw.isdigit():
-            raise argparse.ArgumentTypeError(
-                f"heuristic {part!r} must look like name:number"
-            )
-        value = int(raw)
-        if name in ("kclosest", "k"):
-            heuristics.append(KClosestDescendants(value))
-        elif name in ("rdistant", "r"):
-            heuristics.append(RDistantDescendants(value))
-        elif name in ("ancestors", "a"):
-            heuristics.append(RDistantAncestors(value))
-        else:
-            raise argparse.ArgumentTypeError(f"unknown heuristic {name!r}")
-    combined = heuristics[0]
-    for heuristic in heuristics[1:]:
-        combined = h_or(combined, heuristic)
-    return combined
+    """Registry-backed heuristic parsing with argparse-friendly errors."""
+    try:
+        return heuristic_from_spec(spec)
+    except (ValueError, LookupError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _parse_condition(spec: Optional[str]):
+    try:
+        return condition_from_spec(spec)
+    except (ValueError, LookupError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _bounded_int(minimum: int, what: str):
@@ -81,17 +67,38 @@ def _bounded_int(minimum: int, what: str):
     return parse
 
 
-def _parse_condition(spec: Optional[str]):
-    if not spec:
-        return None
-    names = [name.strip() for name in spec.split(",") if name.strip()]
-    try:
-        conditions = [_CONDITIONS[name] for name in names]
-    except KeyError as exc:
-        raise argparse.ArgumentTypeError(
-            f"unknown condition {exc.args[0]!r}; choose from {sorted(_CONDITIONS)}"
-        ) from None
-    return c_and(*conditions)
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``dedup`` and ``match`` (one run's inputs)."""
+    parser.add_argument("documents", nargs="*", help="XML document file(s)")
+    parser.add_argument("--spec", help="RunSpec JSON file; flags override it")
+    parser.add_argument("--mapping", help="mapping M file (XML)")
+    parser.add_argument("--type", dest="real_world_type",
+                        help="real-world type to deduplicate")
+    parser.add_argument("--schema", action="append", default=[],
+                        help="XSD file, paired with the documents "
+                             "positionally: the i-th --schema belongs to "
+                             "the i-th document, remaining documents get "
+                             "inferred schemas; more --schema flags than "
+                             "documents is an error")
+    parser.add_argument("--heuristic", default=None,
+                        help="kclosest:N | rdistant:N | ancestors:N, "
+                             "join with + (default kclosest:6)")
+    parser.add_argument("--conditions", default=None,
+                        help="comma list of cm,sdt,me,se (ANDed)")
+    parser.add_argument("--semantics", default=None,
+                        choices=SEMANTICS.names(),
+                        help="similar-pair semantics of the measure")
+    parser.add_argument("--theta-tuple", type=float, default=None)
+    parser.add_argument("--theta-cand", type=float, default=None)
+    parser.add_argument("--no-filter", action="store_true",
+                        help="disable the object filter")
+    parser.add_argument("--workers", type=_bounded_int(0, "workers"),
+                        default=None,
+                        help="classification worker processes "
+                             "(1 = serial, 0 = all cores)")
+    parser.add_argument("--batch-size", type=_bounded_int(1, "batch size"),
+                        default=None,
+                        help="candidate pairs per classification batch")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,30 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     dedup = commands.add_parser("dedup", help="detect duplicates in XML documents")
-    dedup.add_argument("documents", nargs="+", help="XML document file(s)")
-    dedup.add_argument("--mapping", required=True, help="mapping M file (XML)")
-    dedup.add_argument("--type", required=True, dest="real_world_type",
-                       help="real-world type to deduplicate")
-    dedup.add_argument("--schema", action="append", default=[],
-                       help="XSD file per document (else inferred)")
-    dedup.add_argument("--heuristic", type=_parse_heuristic,
-                       default=KClosestDescendants(6),
-                       help="kclosest:N | rdistant:N | ancestors:N, join with +")
-    dedup.add_argument("--conditions", type=_parse_condition, default=None,
-                       help="comma list of cm,sdt,me,se (ANDed)")
-    dedup.add_argument("--theta-tuple", type=float, default=0.15)
-    dedup.add_argument("--theta-cand", type=float, default=0.55)
-    dedup.add_argument("--no-filter", action="store_true",
-                       help="disable the object filter")
-    dedup.add_argument("--workers", type=_bounded_int(0, "workers"), default=1,
-                       help="classification worker processes "
-                            "(1 = serial, 0 = all cores)")
-    dedup.add_argument("--batch-size", type=_bounded_int(1, "batch size"),
-                       default=DEFAULT_BATCH_SIZE,
-                       help="candidate pairs per classification batch")
+    _add_run_arguments(dedup)
     dedup.add_argument("--output", help="write dupclusters XML here (default stdout)")
     dedup.add_argument("--explain", action="store_true",
                        help="print a similarity breakdown per duplicate pair")
+
+    match = commands.add_parser(
+        "match", help="find the duplicate partners of one object"
+    )
+    _add_run_arguments(match)
+    match.add_argument("--object-id", type=_bounded_int(0, "object id"),
+                       default=None,
+                       help="candidate-set id of the object to match")
+    match.add_argument("--path",
+                       help="absolute positional XPath of the object "
+                            "(e.g. /moviedoc/movie[2])")
+    match.add_argument("--top", type=_bounded_int(1, "top"), default=None,
+                       help="report at most this many partners")
 
     suggest = commands.add_parser(
         "suggest", help="rank candidate element types of a document"
@@ -134,47 +134,94 @@ def build_parser() -> argparse.ArgumentParser:
     suggest.add_argument("--schema", help="XSD file (else inferred)")
     suggest.add_argument("--limit", type=int, default=5)
 
-    commands.add_parser("example", help="run the paper's running example")
+    example = commands.add_parser(
+        "example", help="run the paper's running example"
+    )
+    example.add_argument("--write", metavar="DIR",
+                         help="instead of running, write the example "
+                              "document, schema, mapping, and a ready "
+                              "run.json spec into DIR")
     return parser
 
 
-def _command_dedup(args: argparse.Namespace) -> int:
-    schemas = [parse_schema_file(path) for path in args.schema]
-    sources = []
-    for index, path in enumerate(args.documents):
-        document = parse_file(path)
-        schema = schemas[index] if index < len(schemas) else None
-        sources.append(Source(document, schema))
-    with open(args.mapping, encoding="utf-8") as handle:
-        mapping = mapping_from_xml(handle.read())
+def _spec_from_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> RunSpec:
+    """Resolve ``--spec`` plus overriding flags into one RunSpec."""
+    if args.spec:
+        if args.documents or args.mapping or args.real_world_type or args.schema:
+            parser.error(
+                "--spec already names documents, schemas, mapping, and "
+                "type; do not combine it with positional documents, "
+                "--schema, --mapping, or --type"
+            )
+        try:
+            spec = RunSpec.load(args.spec)
+        except (OSError, ValueError, LookupError) as exc:
+            parser.error(f"cannot load spec {args.spec!r}: {exc}")
+    else:
+        if not args.documents:
+            parser.error("documents are required (or use --spec)")
+        if not args.mapping or not args.real_world_type:
+            parser.error("--mapping and --type are required (or use --spec)")
+        if len(args.schema) > len(args.documents):
+            parser.error(
+                f"got {len(args.schema)} --schema files for "
+                f"{len(args.documents)} documents; --schema flags pair "
+                "with documents positionally"
+            )
+        spec = RunSpec(
+            documents=list(args.documents),
+            mapping=args.mapping,
+            real_world_type=args.real_world_type,
+            schemas=list(args.schema),
+        )
+    if args.heuristic is not None:
+        try:
+            heuristic_from_spec(args.heuristic)
+        except (ValueError, LookupError) as exc:
+            parser.error(f"--heuristic: {exc}")
+        spec.heuristic = args.heuristic
+    if args.conditions is not None:
+        try:
+            condition_from_spec(args.conditions)
+        except (ValueError, LookupError) as exc:
+            parser.error(f"--conditions: {exc}")
+        spec.conditions = args.conditions
+    if args.semantics is not None:
+        spec.similar_semantics = args.semantics
+    if args.theta_tuple is not None:
+        spec.theta_tuple = args.theta_tuple
+    if args.theta_cand is not None:
+        spec.theta_cand = args.theta_cand
+    if args.no_filter:
+        spec.use_object_filter = False
+    if args.workers is not None:
+        spec.workers = args.workers
+        spec.backend = None  # re-derive from the worker count
+    if args.batch_size is not None:
+        spec.batch_size = args.batch_size
+    return spec
 
-    config = DogmatixConfig(
-        heuristic=args.heuristic,
-        condition=args.conditions,
-        theta_tuple=args.theta_tuple,
-        theta_cand=args.theta_cand,
-        use_object_filter=not args.no_filter,
-        execution=ExecutionPolicy.for_workers(args.workers, args.batch_size),
-    )
-    algorithm = DogmatiX(config)
-    result = algorithm.run(sources, mapping, args.real_world_type)
+
+def _command_dedup(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    spec = _spec_from_args(args, parser)
+    session = spec.build_session()
+    result = session.detect()
     print(result.summary(), file=sys.stderr)
 
-    if args.explain and algorithm.last_similarity is not None:
-        by_id = {od.object_id: od for od in result.ods}
+    if args.explain:
         for pair in result.duplicate_pairs:
-            explanation = algorithm.last_similarity.explain(
-                by_id[pair.left], by_id[pair.right]
-            )
             print(
                 f"# {result.object_path(pair.left)} ~ "
                 f"{result.object_path(pair.right)} "
                 f"(sim={pair.similarity:.3f})",
                 file=sys.stderr,
             )
-            for left, right in explanation["similar_pairs"]:
+            explanation = session.explain(pair.left, pair.right)
+            for left, right in explanation.similar_pairs:
                 print(f"#   similar: {left} ~ {right}", file=sys.stderr)
-            for left, right in explanation["contradictory_pairs"]:
+            for left, right in explanation.contradictory_pairs:
                 print(f"#   contra:  {left} vs {right}", file=sys.stderr)
 
     output = result.to_xml()
@@ -183,6 +230,40 @@ def _command_dedup(args: argparse.Namespace) -> int:
             handle.write(output)
     else:
         print(output)
+    return 0
+
+
+def _command_match(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if (args.object_id is None) == (args.path is None):
+        parser.error("match needs exactly one of --object-id or --path")
+    spec = _spec_from_args(args, parser)
+    session = spec.build_session()
+
+    if args.object_id is not None:
+        if args.object_id >= len(session.ods):
+            parser.error(
+                f"--object-id {args.object_id} out of range; the session "
+                f"has {len(session.ods)} candidates"
+            )
+        target: object = args.object_id
+    else:
+        by_path = {
+            session.object_path(od.object_id): od.object_id
+            for od in session.ods
+        }
+        if args.path not in by_path:
+            parser.error(f"no candidate at path {args.path!r}")
+        target = by_path[args.path]
+
+    matches = session.match(target)
+    if args.top is not None:
+        matches = matches[: args.top]
+    print(
+        f"{session.object_path(target)}: {len(matches)} duplicate partner(s)",
+        file=sys.stderr,
+    )
+    for found in matches:
+        print(f"{found.path}\t{found.similarity:.4f}")
     return 0
 
 
@@ -204,13 +285,48 @@ def _command_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_example(_: argparse.Namespace) -> int:
-    from .core import RDistantDescendants
+def _example_spec() -> RunSpec:
+    """The running example's configuration as a (relative-path) spec."""
+    return RunSpec(
+        documents=["movies.xml"],
+        mapping="mapping.xml",
+        real_world_type="MOVIE",
+        schemas=["movies.xsd"],
+        heuristic="rdistant:2",
+        theta_tuple=0.55,
+        theta_cand=0.55,
+        use_object_filter=False,
+    )
+
+
+def _command_example(args: argparse.Namespace) -> int:
+    from .core import DogmatixConfig, RDistantDescendants, Source
     from .datagen import (
+        PAPER_EXAMPLE_XML,
+        PAPER_EXAMPLE_XSD,
         paper_example_document,
         paper_example_mapping,
         paper_example_schema,
     )
+
+    if args.write:
+        import os
+
+        os.makedirs(args.write, exist_ok=True)
+
+        def write(name: str, text: str) -> str:
+            path = os.path.join(args.write, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            return path
+
+        write("movies.xml", PAPER_EXAMPLE_XML)
+        write("movies.xsd", PAPER_EXAMPLE_XSD)
+        write("mapping.xml", paper_example_mapping().to_xml())
+        spec_path = write("run.json", _example_spec().to_json())
+        print(f"wrote the running example to {args.write}", file=sys.stderr)
+        print(spec_path)
+        return 0
 
     config = DogmatixConfig(
         heuristic=RDistantDescendants(2),
@@ -218,24 +334,28 @@ def _command_example(_: argparse.Namespace) -> int:
         theta_cand=0.55,
         use_object_filter=False,
     )
-    result = DogmatiX(config).run(
+    session = DetectionSession(
         Source(paper_example_document(), paper_example_schema()),
         paper_example_mapping(),
         "MOVIE",
+        config,
     )
+    result = session.detect()
     print(result.summary(), file=sys.stderr)
     print(result.to_xml())
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    handlers = {
-        "dedup": _command_dedup,
-        "suggest": _command_suggest,
-        "example": _command_example,
-    }
-    return handlers[args.command](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "dedup":
+        return _command_dedup(args, parser)
+    if args.command == "match":
+        return _command_match(args, parser)
+    if args.command == "suggest":
+        return _command_suggest(args)
+    return _command_example(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -114,6 +114,17 @@ class CombinedCondition:
             return self.left(e0, element) and self.right(e0, element)
         return self.left(e0, element) or self.right(e0, element)
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CombinedCondition)
+            and other.operator == self.operator
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((CombinedCondition, self.operator, self.left, self.right))
+
     def __repr__(self) -> str:
         symbol = "∧c" if self.operator == "and" else "∨c"
         return f"({_name(self.left)} {symbol} {_name(self.right)})"

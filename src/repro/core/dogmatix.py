@@ -21,19 +21,15 @@ and returns a :class:`~repro.framework.result.DetectionResult` whose
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..framework import (
-    CandidateDefinition,
-    DetectionPipeline,
     DetectionResult,
     ObjectDescription,
-    ObjectFilterPruning,
-    SharedTupleBlocking,
     ThresholdClassifier,
     TypeMapping,
 )
-from ..xmlkit import Document, Element, Schema, compile_path, infer_schema
+from ..xmlkit import Document, Element, Schema, infer_schema
 from .config import DogmatixConfig
 from .index import CorpusIndex
 from .object_filter import ObjectFilter
@@ -67,29 +63,46 @@ class DogmatixClassifierFactory:
         )
 
 
-@dataclass
+@dataclass(frozen=True)
 class Source:
     """One data source: a document and (optionally) its schema.
 
     A missing schema is inferred from the document — matching how the
-    paper's datasets (FreeDB extracts) come without an XSD.
+    paper's datasets (FreeDB extracts) come without an XSD.  The value
+    is immutable; inferred schemas are cached per corpus by
+    :class:`repro.api.Corpus`, never written back onto a source shared
+    across runs.
     """
 
     document: Document | Element
     schema: Schema | None = None
 
     def resolved_schema(self) -> Schema:
+        """The given schema, or a fresh inference (not cached here —
+        use :meth:`repro.api.Corpus.schema_of` for cached resolution)."""
         if self.schema is None:
-            self.schema = infer_schema(self.document)
+            return infer_schema(self.document)
         return self.schema
 
 
 class DogmatiX:
-    """Duplicate objects get matched in XML."""
+    """Duplicate objects get matched in XML.
+
+    .. deprecated::
+        :meth:`run` is the one-shot legacy entry point; it rebuilds
+        schema inference, the corpus index, and the classifier on every
+        call.  New code should prepare a
+        :class:`repro.api.DetectionSession` once and call its
+        ``detect()`` / ``match()`` / ``extend()`` methods — ``run`` is
+        now a thin shim over exactly that session (results are
+        bit-identical) and emits a :class:`DeprecationWarning`.
+    """
 
     def __init__(self, config: DogmatixConfig | None = None) -> None:
         self.config = config or DogmatixConfig()
         #: Populated by :meth:`run` for introspection / benchmarks.
+        #: Deprecated alongside it — sessions expose ``index``,
+        #: ``object_filter``, and ``explain()`` instead.
         self.last_index: CorpusIndex | None = None
         self.last_filter: ObjectFilter | None = None
         self.last_similarity: DogmatixSimilarity | None = None
@@ -101,7 +114,19 @@ class DogmatiX:
         mapping: TypeMapping,
         real_world_type: str,
     ) -> DetectionResult:
-        """Detect duplicates of ``real_world_type`` across the sources."""
+        """Detect duplicates of ``real_world_type`` across the sources.
+
+        Deprecated shim over :class:`repro.api.DetectionSession`.
+        """
+        import warnings
+
+        warnings.warn(
+            "DogmatiX.run() is deprecated; build a "
+            "repro.api.DetectionSession once and call detect()/match() "
+            "on it (same results, amortized index construction)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         ods = self.build_ods(sources, mapping, real_world_type)
         return self.detect(ods, mapping, real_world_type)
 
@@ -117,25 +142,14 @@ class DogmatiX:
         Candidates from different schema elements (e.g. ``movie`` and
         ``film``) get descriptions selected from *their* schema, so
         structurally different sources coexist in one candidate set.
+        Delegates to :meth:`repro.api.Corpus.generate_ods` (one schema
+        inference per schema-less source, cached in the corpus).
         """
-        source_list = _normalize_sources(sources)
-        selector = self.config.selector
-        ods: list[ObjectDescription] = []
-        next_id = 0
-        for xpath in sorted(mapping.xpaths_of(real_world_type)):
-            compiled = compile_path(xpath)
-            for source in source_list:
-                schema = source.resolved_schema()
-                declaration = schema.get(xpath)
-                if declaration is None:
-                    continue  # this source does not contain the element
-                description = selector.description_definition(
-                    declaration, include_empty=self.config.include_empty
-                )
-                for element in compiled.select(source.document):
-                    ods.append(description.generate_od(next_id, element))
-                    next_id += 1
-        return ods
+        from ..api import Corpus
+
+        return Corpus(_normalize_sources(sources)).generate_ods(
+            mapping, real_world_type, self.config
+        )
 
     # ------------------------------------------------------------------
     def detect(
@@ -144,43 +158,20 @@ class DogmatiX:
         mapping: TypeMapping,
         real_world_type: str,
     ) -> DetectionResult:
-        """Steps 4–6 on prepared ODs."""
-        index = CorpusIndex(ods, mapping, self.config.theta_tuple)
-        similarity = DogmatixSimilarity(index, semantics=self.config.similar_semantics)
-        classifier = ThresholdClassifier(
-            similarity,
-            self.config.theta_cand,
-            possible_threshold=self.config.possible_threshold,
-        )
+        """Steps 4–6 on prepared ODs.
 
-        pair_source = None
-        object_filter = None
-        if self.config.use_blocking:
-            pair_source = SharedTupleBlocking(index.block_keys)
-        if self.config.use_object_filter:
-            object_filter = ObjectFilter(index, self.config.theta_cand)
-            pair_source = ObjectFilterPruning(object_filter.keep, inner=pair_source)
+        One :class:`repro.api.DetectionSession` under the hood, so the
+        legacy and session paths cannot drift apart.
+        """
+        from ..api import DetectionSession
 
-        pipeline = DetectionPipeline(
-            candidate_definition=CandidateDefinition(
-                real_world_type, tuple(sorted(mapping.xpaths_of(real_world_type)))
-            ),
-            description_definition=_DUMMY_DESCRIPTION,
-            classifier=classifier,
-            pair_source=pair_source,
-            policy=self.config.execution,
-            classifier_factory=DogmatixClassifierFactory(
-                mapping=mapping,
-                theta_tuple=self.config.theta_tuple,
-                theta_cand=self.config.theta_cand,
-                possible_threshold=self.config.possible_threshold,
-                semantics=self.config.similar_semantics,
-            ),
+        session = DetectionSession.from_ods(
+            ods, mapping, real_world_type, self.config
         )
-        result = pipeline.detect(ods)
-        self.last_index = index
-        self.last_filter = object_filter
-        self.last_similarity = similarity
+        result = session.detect()
+        self.last_index = session.index
+        self.last_filter = session.object_filter
+        self.last_similarity = session.similarity
         return result
 
 
@@ -193,9 +184,3 @@ def _normalize_sources(
     for item in sources:
         normalized.append(item if isinstance(item, Source) else Source(item))
     return normalized
-
-
-# detect() receives ready-made ODs; the pipeline never executes this.
-from ..framework import DescriptionDefinition as _DescriptionDefinition  # noqa: E402
-
-_DUMMY_DESCRIPTION = _DescriptionDefinition((".",))

@@ -73,6 +73,12 @@ class RDistantAncestors:
             selected.append(ancestor)
         return selected
 
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RDistantAncestors) and other.radius == self.radius
+
+    def __hash__(self) -> int:
+        return hash((RDistantAncestors, self.radius))
+
     def __repr__(self) -> str:
         return f"h_ra(r={self.radius})"
 
@@ -90,6 +96,12 @@ class RDistantDescendants:
         for depth in range(1, self.radius + 1):
             selected.extend(e0.descendants_at_depth(depth))
         return selected
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RDistantDescendants) and other.radius == self.radius
+
+    def __hash__(self) -> int:
+        return hash((RDistantDescendants, self.radius))
 
     def __repr__(self) -> str:
         return f"h_rd(r={self.radius})"
@@ -115,6 +127,12 @@ class KClosestDescendants:
                 break
             selected.append(element)
         return selected
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KClosestDescendants) and other.k == self.k
+
+    def __hash__(self) -> int:
+        return hash((KClosestDescendants, self.k))
 
     def __repr__(self) -> str:
         return f"h_kd(k={self.k})"
@@ -142,6 +160,17 @@ class CombinedHeuristic:
             return [element for element in left if id(element) in right_ids]
         left_ids = {id(element) for element in left}
         return left + [element for element in right if id(element) not in left_ids]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CombinedHeuristic)
+            and other.operator == self.operator
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((CombinedHeuristic, self.operator, self.left, self.right))
 
     def __repr__(self) -> str:
         symbol = "∧h" if self.operator == "and" else "∨h"

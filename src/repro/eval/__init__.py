@@ -24,6 +24,8 @@ from .harness import (
     run_experiment,
     run_filter_sweep,
     run_heuristic_sweep,
+    run_threshold_sweep,
+    session_for,
 )
 from .metrics import (
     PRResult,
@@ -74,5 +76,7 @@ __all__ = [
     "run_experiment",
     "run_filter_sweep",
     "run_heuristic_sweep",
+    "run_threshold_sweep",
+    "session_for",
     "suggest_theta_tuple",
 ]

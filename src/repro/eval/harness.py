@@ -5,21 +5,25 @@ and scores the detected duplicate pairs against the generator's gold
 standard.  The sweep results are plain dataclasses; the
 :mod:`repro.eval.reporting` module renders them as the paper's tables
 and figure series.
+
+Runs go through :class:`repro.api.DetectionSession`, so everything a
+sweep point shares with its neighbours is built once: a threshold
+sweep (:func:`run_threshold_sweep`, Figure 7's shape) reuses one
+session — and with it one :class:`~repro.core.index.CorpusIndex` —
+across all θ_cand positions instead of rebuilding per point
+(``benchmarks/bench_session.py`` measures the amortization).  Heuristic
+sweeps change the object descriptions per position, so their index is
+legitimately per-cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
-from ..core import (
-    DogmatiX,
-    Heuristic,
-    KClosestDescendants,
-    ObjectFilter,
-    RDistantDescendants,
-)
-from ..core.index import CorpusIndex
+from ..api import Corpus, DetectionSession
+from ..core import Heuristic, KClosestDescendants, RDistantDescendants
+from ..core.object_filter import ObjectFilter
 from ..datagen import DirtyConfig
 from ..engine import ExecutionPolicy
 from .datasets import Dataset, build_dataset1, build_dataset2, build_dataset3
@@ -44,6 +48,28 @@ class SweepResult:
         return self.series[experiment][position].precision
 
 
+def session_for(
+    dataset: Dataset,
+    heuristic: Heuristic,
+    experiment: Experiment,
+    theta_tuple: float = 0.15,
+    theta_cand: float = 0.55,
+    policy: ExecutionPolicy | None = None,
+) -> DetectionSession:
+    """A prepared session for one (dataset, heuristic, experiment) cell."""
+    config = experiment.config(
+        heuristic, theta_tuple=theta_tuple, theta_cand=theta_cand
+    )
+    if policy is not None:
+        config.execution = policy
+    return DetectionSession(
+        Corpus(dataset.sources),
+        dataset.mapping,
+        dataset.real_world_type,
+        config,
+    )
+
+
 def run_experiment(
     dataset: Dataset,
     heuristic: Heuristic,
@@ -52,23 +78,18 @@ def run_experiment(
     theta_cand: float = 0.55,
     policy: ExecutionPolicy | None = None,
 ) -> tuple[PRResult, int]:
-    """One cell of a sweep: run DogmatiX, score against gold.
+    """One cell of a sweep: run a detection session, score against gold.
 
     ``policy`` selects the execution backend (serial / process
     workers); results are identical, so benchmarks can sweep worker
     counts without touching effectiveness numbers.
     """
-    config = experiment.config(
-        heuristic, theta_tuple=theta_tuple, theta_cand=theta_cand
+    session = session_for(
+        dataset, heuristic, experiment,
+        theta_tuple=theta_tuple, theta_cand=theta_cand, policy=policy,
     )
-    if policy is not None:
-        config.execution = policy
-    algorithm = DogmatiX(config)
-    ods = algorithm.build_ods(
-        dataset.sources, dataset.mapping, dataset.real_world_type
-    )
-    result = algorithm.detect(ods, dataset.mapping, dataset.real_world_type)
-    metrics = pair_metrics(result.duplicate_id_pairs(), gold_pairs(ods))
+    result = session.detect()
+    metrics = pair_metrics(result.duplicate_id_pairs(), gold_pairs(session.ods))
     return metrics, result.compared_pairs
 
 
@@ -129,6 +150,48 @@ def run_dataset2_sweep(
     )
 
 
+def run_threshold_sweep(
+    dataset: Dataset,
+    thresholds: Sequence[float],
+    heuristic: Heuristic | None = None,
+    experiment: Experiment | None = None,
+    theta_tuple: float = 0.15,
+    policy: ExecutionPolicy | None = None,
+    session: Optional[DetectionSession] = None,
+) -> SweepResult:
+    """θ_cand sweep over **one** detection session.
+
+    The corpus index and similarity depend on θ_tuple, not θ_cand, so
+    every position reuses the session's standing index — per sweep
+    point only classification runs.  Pass ``session`` to reuse an
+    externally prepared one (its config must match the dataset); the
+    series is then labeled ``"session"`` unless ``experiment`` names
+    the one the session was built for.
+    """
+    if session is None:
+        experiment = experiment or EXPERIMENTS[0]
+        session = session_for(
+            dataset,
+            heuristic or KClosestDescendants(6),
+            experiment,
+            theta_tuple=theta_tuple,
+            theta_cand=min(thresholds),
+            policy=policy,
+        )
+    gold = gold_pairs(session.ods)
+    sweep = SweepResult("theta", list(thresholds))
+    name = experiment.name if experiment is not None else "session"
+    sweep.series[name] = {}
+    sweep.compared_pairs[name] = {}
+    for threshold in thresholds:
+        result = session.detect(theta_cand=threshold)
+        sweep.series[name][threshold] = pair_metrics(
+            result.duplicate_id_pairs(), gold
+        )
+        sweep.compared_pairs[name][threshold] = result.compared_pairs
+    return sweep
+
+
 @dataclass
 class ThresholdSweepResult:
     """Figure 7: precision (and pair counts) per θ_cand."""
@@ -157,15 +220,12 @@ def run_dataset3_threshold_sweep(
     """
     dataset = build_dataset3(count, seed)
     lowest = min(thresholds)
-    experiment = EXPERIMENTS[0]  # exp1: no condition
-    config = experiment.config(KClosestDescendants(k), theta_cand=lowest)
-    if policy is not None:
-        config.execution = policy
-    algorithm = DogmatiX(config)
-    ods = algorithm.build_ods(
-        dataset.sources, dataset.mapping, dataset.real_world_type
+    session = session_for(
+        dataset, KClosestDescendants(k), EXPERIMENTS[0],  # exp1: no condition
+        theta_cand=lowest, policy=policy,
     )
-    result = algorithm.detect(ods, dataset.mapping, dataset.real_world_type)
+    ods = session.ods
+    result = session.detect()
     gold = gold_pairs(ods)
 
     # An "exact duplicate" pair has identical values per kind of
@@ -240,15 +300,11 @@ def run_filter_sweep(
             synonym_rate=0.08,
         )
         dataset = build_dataset1(base_count, seed, config)
-        algo_config = experiment.config(
-            KClosestDescendants(k), theta_cand=theta_cand
+        session = session_for(
+            dataset, KClosestDescendants(k), experiment, theta_cand=theta_cand
         )
-        algorithm = DogmatiX(algo_config)
-        ods = algorithm.build_ods(
-            dataset.sources, dataset.mapping, dataset.real_world_type
-        )
-        index = CorpusIndex(ods, dataset.mapping, algo_config.theta_tuple)
-        object_filter = ObjectFilter(index, theta_cand)
+        ods = session.ods
+        object_filter = ObjectFilter(session.index, theta_cand)
         pruned = [od.object_id for od in ods if not object_filter.keep(od)]
         results[percentage] = filter_metrics(
             pruned, objects_with_duplicates(ods), len(ods)

@@ -1,0 +1,366 @@
+"""Session API tests: Corpus, DetectionSession, registries.
+
+The acceptance-critical properties live here:
+
+* ``DetectionSession.detect()`` is bit-identical to the legacy
+  ``DogmatiX.run`` (pinned against the golden dupcluster XML);
+* ``match()`` on every object returns exactly the partners a full
+  ``detect()`` finds for that object (paper example and Dataset 1,
+  object filter on and off);
+* schema caching lives in ``Corpus``; a ``Source`` stays immutable.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.api import (
+    CONDITIONS,
+    Corpus,
+    DetectionSession,
+    HEURISTICS,
+    Registry,
+    heuristic_from_spec,
+)
+from repro.core import (
+    DogmatiX,
+    DogmatixConfig,
+    KClosestDescendants,
+    RDistantDescendants,
+    Source,
+)
+from repro.datagen import (
+    paper_example_document,
+    paper_example_mapping,
+    paper_example_schema,
+)
+from repro.eval import build_dataset1
+from repro.xmlkit import parse
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def paper_config() -> DogmatixConfig:
+    return DogmatixConfig(
+        heuristic=RDistantDescendants(2),
+        theta_tuple=0.55,
+        theta_cand=0.55,
+        use_object_filter=False,
+    )
+
+
+@pytest.fixture()
+def paper_session():
+    return DetectionSession(
+        Source(paper_example_document(), paper_example_schema()),
+        paper_example_mapping(),
+        "MOVIE",
+        paper_config(),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset1_session():
+    dataset = build_dataset1(base_count=30, seed=7)
+    return DetectionSession(
+        Corpus(dataset.sources),
+        dataset.mapping,
+        dataset.real_world_type,
+        DogmatixConfig(heuristic=KClosestDescendants(6)),
+    )
+
+
+def partners_from_detect(result):
+    """object id -> its duplicate partner set, per the batch run."""
+    partners: dict[int, set[int]] = {od.object_id: set() for od in result.ods}
+    for pair in result.duplicate_pairs:
+        partners[pair.left].add(pair.right)
+        partners[pair.right].add(pair.left)
+    return partners
+
+
+class TestDetect:
+    def test_bit_identical_to_golden(self, paper_session):
+        golden = (GOLDEN_DIR / "paper_example_dupclusters.xml").read_text(
+            encoding="utf-8"
+        )
+        assert paper_session.detect().to_xml() == golden
+
+    def test_bit_identical_to_deprecated_run(self, dataset1_session):
+        session_xml = dataset1_session.detect().to_xml()
+        dataset = build_dataset1(base_count=30, seed=7)
+        with pytest.deprecated_call():
+            legacy = DogmatiX(DogmatixConfig(heuristic=KClosestDescendants(6))).run(
+                dataset.sources, dataset.mapping, dataset.real_world_type
+            )
+        assert session_xml == legacy.to_xml()
+
+    def test_detect_is_repeatable(self, paper_session):
+        first = paper_session.detect()
+        second = paper_session.detect()
+        assert first.to_xml() == second.to_xml()
+        assert first.compared_pairs == second.compared_pairs
+
+    def test_theta_override_matches_fresh_session(self, dataset1_session):
+        override = dataset1_session.detect(theta_cand=0.70)
+        dataset = build_dataset1(base_count=30, seed=7)
+        fresh = DetectionSession(
+            dataset.sources,
+            dataset.mapping,
+            dataset.real_world_type,
+            DogmatixConfig(heuristic=KClosestDescendants(6), theta_cand=0.70),
+        ).detect()
+        assert override.duplicate_id_pairs() == fresh.duplicate_id_pairs()
+
+    def test_index_built_once(self, dataset1_session):
+        index_before = dataset1_session.index
+        dataset1_session.detect()
+        dataset1_session.detect(theta_cand=0.60)
+        assert dataset1_session.index is index_before
+        assert dataset1_session.index_builds == 1
+
+    def test_object_filter_accessor(self, dataset1_session):
+        dataset1_session.detect()
+        assert dataset1_session.object_filter is not None
+
+
+class TestMatch:
+    def test_paper_example_matches_detect(self, paper_session):
+        expected = partners_from_detect(paper_session.detect())
+        for od in paper_session.ods:
+            found = {m.object_id for m in paper_session.match(od.object_id)}
+            assert found == expected[od.object_id], (
+                f"match() diverged from detect() for object {od.object_id}"
+            )
+
+    def test_dataset1_matches_detect_with_filter(self, dataset1_session):
+        """Every object, with the object filter active (default config)."""
+        expected = partners_from_detect(dataset1_session.detect())
+        for od in dataset1_session.ods:
+            found = {m.object_id for m in dataset1_session.match(od.object_id)}
+            assert found == expected[od.object_id], (
+                f"match() diverged from detect() for object {od.object_id}"
+            )
+
+    def test_dataset1_matches_detect_without_filter(self):
+        dataset = build_dataset1(base_count=30, seed=7)
+        session = DetectionSession(
+            dataset.sources,
+            dataset.mapping,
+            dataset.real_world_type,
+            DogmatixConfig(
+                heuristic=KClosestDescendants(6), use_object_filter=False
+            ),
+        )
+        expected = partners_from_detect(session.detect())
+        for od in session.ods:
+            found = {m.object_id for m in session.match(od.object_id)}
+            assert found == expected[od.object_id]
+
+    def test_match_scores_and_paths(self, paper_session):
+        (match,) = paper_session.match(0)
+        assert match.object_id == 1
+        assert match.path == "/moviedoc/movie[2]"
+        assert match.similarity > 0.55
+
+    def test_match_by_element_and_od(self, paper_session):
+        od = paper_session.ods[0]
+        by_id = paper_session.match(0)
+        assert paper_session.match(od.element) == by_id
+        assert paper_session.match(od) == by_id
+
+    def test_match_foreign_element(self, paper_session):
+        foreign = parse(
+            "<moviedoc><movie><title>Sings</title><year>2002</year>"
+            "</movie></moviedoc>"
+        )
+        matches = paper_session.match(foreign.root.children[0])
+        assert [m.object_id for m in matches] == [2]  # the "Signs" movie
+
+    def test_match_unknown_id(self, paper_session):
+        with pytest.raises(KeyError):
+            paper_session.match(99)
+
+    def test_match_bad_type(self, paper_session):
+        with pytest.raises(TypeError):
+            paper_session.match("movie[1]")
+
+
+class TestExtend:
+    def test_extend_clusters_new_duplicate(self, paper_session):
+        schema = paper_example_schema()
+        late = parse(
+            "<moviedoc><movie><title>Sings</title><year>2002</year>"
+            "</movie></moviedoc>"
+        )
+        update = paper_session.extend(Source(late, schema))
+        assert len(update.added) == 1
+        (assignment,) = update.assignments
+        new_id, cluster = assignment
+        assert new_id == 3  # ids continue after the base candidate set
+        # The dirty "Sings" joins the cluster containing "Signs" (id 2).
+        assert any(
+            set(members) >= {2, 3} for members in update.duplicate_clusters
+        )
+
+    def test_extend_twice_continues_ids(self, paper_session):
+        schema = paper_example_schema()
+        first = paper_session.extend(
+            Source(parse("<moviedoc><movie><title>Heat</title>"
+                         "<year>1995</year></movie></moviedoc>"), schema)
+        )
+        second = paper_session.extend(
+            Source(parse("<moviedoc><movie><title>Heat</title>"
+                         "<year>1995</year></movie></moviedoc>"), schema)
+        )
+        assert first.added[0].object_id == 3
+        assert second.added[0].object_id == 4
+        assert any(
+            set(members) >= {3, 4} for members in second.duplicate_clusters
+        )
+        assert paper_session.incremental is not None
+
+    def test_extend_does_not_touch_standing_index(self, paper_session):
+        before = paper_session.index.total_objects
+        paper_session.extend(
+            Source(parse("<moviedoc><movie><title>Alien</title>"
+                         "<year>1979</year></movie></moviedoc>"),
+                   paper_example_schema())
+        )
+        assert paper_session.index.total_objects == before
+        assert len(paper_session.ods) == before
+
+
+class TestExplanation:
+    def test_fields(self, paper_session):
+        explanation = paper_session.explain(0, 1)
+        assert explanation.left == 0 and explanation.right == 1
+        assert explanation.similarity == pytest.approx(0.75)
+        assert len(explanation.similar_pairs) == 3
+        assert len(explanation.contradictory_pairs) == 1
+        assert explanation.set_soft_idf_similar > 0
+        assert any("similar" in line for line in explanation.lines())
+
+    def test_immutable(self, paper_session):
+        explanation = paper_session.explain(0, 1)
+        with pytest.raises(AttributeError):
+            explanation.similarity = 0.0
+
+
+class TestCorpus:
+    def test_schema_inference_cached(self, monkeypatch):
+        import repro.api.corpus as corpus_module
+
+        calls = {"count": 0}
+        original = corpus_module.infer_schema
+
+        def counting(document):
+            calls["count"] += 1
+            return original(document)
+
+        monkeypatch.setattr(corpus_module, "infer_schema", counting)
+        corpus = Corpus(Source(paper_example_document()))  # no schema given
+        source = corpus.sources[0]
+        first = corpus.schema_of(source)
+        second = corpus.schema_of(source)
+        assert first is second
+        assert calls["count"] == 1
+
+    def test_source_stays_immutable(self):
+        source = Source(paper_example_document())
+        corpus = Corpus(source)
+        corpus.schema_of(source)
+        assert source.schema is None  # cache lives in the corpus
+        with pytest.raises(AttributeError):
+            source.schema = paper_example_schema()
+
+    def test_resolved_schema_no_longer_mutates(self):
+        source = Source(paper_example_document())
+        assert source.resolved_schema() is not None
+        assert source.schema is None
+
+    def test_add_source_variants(self):
+        corpus = Corpus()
+        corpus.add_source(paper_example_document())
+        corpus.add_source(paper_example_document(), paper_example_schema())
+        corpus.add_source(Source(paper_example_document()))
+        assert len(corpus) == 3
+        with pytest.raises(ValueError):
+            corpus.add_source(
+                Source(paper_example_document(), paper_example_schema()),
+                paper_example_schema(),
+            )
+
+    def test_transient_sources_never_alias_in_cache(self):
+        """Recycled object ids must not resurrect a dead source's schema
+        (the cache is keyed by the source value, which it keeps alive)."""
+        corpus = Corpus()
+        for index in range(50):
+            document = parse(f"<doc{index}><x>v</x></doc{index}>")
+            corpus.schema_of(Source(document))  # transient, not held
+        fresh = parse("<zzz><y>v</y></zzz>")
+        schema = corpus.schema_of(Source(fresh))
+        assert schema.get("/zzz") is not None
+
+    def test_shared_source_across_sessions(self):
+        """One Source object can safely feed two sessions."""
+        source = Source(paper_example_document(), paper_example_schema())
+        mapping = paper_example_mapping()
+        first = DetectionSession(source, mapping, "MOVIE", paper_config())
+        second = DetectionSession(source, mapping, "MOVIE", paper_config())
+        assert first.detect().to_xml() == second.detect().to_xml()
+
+
+class TestRegistries:
+    def test_builtin_names(self):
+        assert HEURISTICS.names() == ["ancestors", "kclosest", "rdistant"]
+        assert CONDITIONS.names() == ["cm", "me", "sdt", "se"]
+
+    def test_aliases(self):
+        assert HEURISTICS.get("k") is KClosestDescendants
+        assert HEURISTICS.canonical_name("r") == "rdistant"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(LookupError, match="kclosest"):
+            HEURISTICS.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", 1)
+        with pytest.raises(ValueError):
+            registry.register("a", 2)
+        with pytest.raises(ValueError):
+            registry.register("b", 3, aliases=("a",))
+
+    def test_heuristic_spec_union(self):
+        heuristic = heuristic_from_spec("rdistant:1+ancestors:2")
+        assert heuristic == heuristic_from_spec("rdistant:1+ancestors:2")
+        assert heuristic != heuristic_from_spec("rdistant:1")
+
+
+class TestDeprecatedShim:
+    def test_run_warns_and_populates_last_attributes(self):
+        algorithm = DogmatiX(paper_config())
+        with pytest.deprecated_call():
+            result = algorithm.run(
+                Source(paper_example_document(), paper_example_schema()),
+                paper_example_mapping(),
+                "MOVIE",
+            )
+        assert result.duplicate_id_pairs() == {(0, 1)}
+        assert algorithm.last_index is not None
+        assert algorithm.last_similarity is not None
+
+    def test_build_ods_matches_session(self):
+        dataset = build_dataset1(base_count=10, seed=7)
+        config = DogmatixConfig(heuristic=KClosestDescendants(6))
+        ods = DogmatiX(config).build_ods(
+            dataset.sources, dataset.mapping, dataset.real_world_type
+        )
+        session = DetectionSession(
+            dataset.sources, dataset.mapping, dataset.real_world_type, config
+        )
+        assert [od.object_id for od in ods] == [
+            od.object_id for od in session.ods
+        ]
+        assert [od.tuples for od in ods] == [od.tuples for od in session.ods]

@@ -1,0 +1,165 @@
+"""RunSpec tests: validation, JSON round trip, file loading."""
+
+import json
+
+import pytest
+
+from repro.api import RunSpec
+from repro.core import KClosestDescendants
+from repro.datagen import (
+    PAPER_EXAMPLE_XML,
+    PAPER_EXAMPLE_XSD,
+    paper_example_mapping,
+)
+from repro.engine import ExecutionPolicy
+
+
+def full_spec() -> RunSpec:
+    """A spec exercising every field away from its default."""
+    return RunSpec(
+        documents=["a.xml", "b.xml"],
+        mapping="mapping.xml",
+        real_world_type="DISC",
+        schemas=["a.xsd"],
+        heuristic="rdistant:1+ancestors:2",
+        conditions="sdt,me",
+        theta_tuple=0.25,
+        theta_cand=0.65,
+        use_object_filter=False,
+        use_blocking=False,
+        include_empty=True,
+        possible_threshold=0.40,
+        similar_semantics="all-pairs",
+        workers=3,
+        batch_size=128,
+        backend="process",
+    )
+
+
+class TestValidation:
+    def test_needs_documents(self):
+        with pytest.raises(ValueError, match="at least one document"):
+            RunSpec(documents=[], mapping="m.xml", real_world_type="T")
+
+    def test_more_schemas_than_documents(self):
+        with pytest.raises(ValueError, match="pair with documents"):
+            RunSpec(
+                documents=["a.xml"],
+                schemas=["a.xsd", "b.xsd"],
+                mapping="m.xml",
+                real_world_type="T",
+            )
+
+    def test_unknown_heuristic(self):
+        with pytest.raises(LookupError, match="kclosest"):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                heuristic="zzz:3",
+            )
+
+    def test_malformed_heuristic(self):
+        with pytest.raises(ValueError, match="name:number"):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                heuristic="kclosest",
+            )
+
+    def test_unknown_condition(self):
+        with pytest.raises(LookupError, match="condition"):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                conditions="sdt,zzz",
+            )
+
+    def test_unknown_semantics_and_backend(self):
+        with pytest.raises(LookupError):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                similar_semantics="fuzzy",
+            )
+        with pytest.raises(LookupError):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                backend="gpu",
+            )
+
+
+class TestRoundTrip:
+    def test_spec_round_trips_identically(self):
+        spec = full_spec()
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_config_round_trips_identically(self):
+        """JSON -> spec -> config equals the original config — including
+        heuristic, ANDed conditions, and the ExecutionPolicy."""
+        spec = full_spec()
+        original = spec.to_config()
+        restored = RunSpec.from_json(spec.to_json()).to_config()
+        assert restored == original
+        assert restored.execution == ExecutionPolicy(
+            workers=3, batch_size=128, backend="process"
+        )
+
+    def test_default_config_round_trips(self):
+        spec = RunSpec(documents=["a.xml"], mapping="m.xml", real_world_type="T")
+        config = RunSpec.from_json(spec.to_json()).to_config()
+        assert config == spec.to_config()
+        assert config.heuristic == KClosestDescendants(6)
+        assert config.condition is None
+        assert config.execution == ExecutionPolicy()
+
+    def test_backend_none_derives_from_workers(self):
+        spec = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            workers=4,
+        )
+        assert spec.execution_policy() == ExecutionPolicy.for_workers(4, 256)
+
+    def test_unknown_json_keys_rejected(self):
+        payload = json.loads(full_spec().to_json())
+        payload["typo_field"] = 1
+        with pytest.raises(ValueError, match="typo_field"):
+            RunSpec.from_dict(payload)
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            RunSpec.from_json("[1, 2]")
+
+
+class TestFiles:
+    @pytest.fixture()
+    def example_dir(self, tmp_path):
+        (tmp_path / "movies.xml").write_text(PAPER_EXAMPLE_XML, encoding="utf-8")
+        (tmp_path / "movies.xsd").write_text(PAPER_EXAMPLE_XSD, encoding="utf-8")
+        (tmp_path / "mapping.xml").write_text(
+            paper_example_mapping().to_xml(), encoding="utf-8"
+        )
+        spec = RunSpec(
+            documents=["movies.xml"],
+            mapping="mapping.xml",
+            real_world_type="MOVIE",
+            schemas=["movies.xsd"],
+            heuristic="rdistant:2",
+            theta_tuple=0.55,
+            theta_cand=0.55,
+            use_object_filter=False,
+        )
+        spec.save(str(tmp_path / "run.json"))
+        return tmp_path
+
+    def test_load_resolves_relative_paths(self, example_dir):
+        spec = RunSpec.load(str(example_dir / "run.json"))
+        assert spec.documents == [str(example_dir / "movies.xml")]
+        assert spec.mapping == str(example_dir / "mapping.xml")
+        assert spec.schemas == [str(example_dir / "movies.xsd")]
+
+    def test_build_session_end_to_end(self, example_dir):
+        session = RunSpec.load(str(example_dir / "run.json")).build_session()
+        result = session.detect()
+        assert result.duplicate_id_pairs() == {(0, 1)}
+        assert [m.object_id for m in session.match(0)] == [1]
+
+    def test_sources_use_given_schema(self, example_dir):
+        spec = RunSpec.load(str(example_dir / "run.json"))
+        (source,) = spec.load_sources()
+        assert source.schema is not None

@@ -109,6 +109,154 @@ class TestDedupCommand:
         assert "similar:" in err
 
 
+class TestSchemaPairing:
+    def test_more_schemas_than_documents_errors(self, example_files, capsys):
+        document, schema, mapping = example_files
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "dedup", str(document),
+                "--mapping", str(mapping),
+                "--type", "MOVIE",
+                "--schema", str(schema),
+                "--schema", str(schema),
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "pair with documents positionally" in err
+
+    def test_pairing_rule_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dedup", "--help"])
+        out = capsys.readouterr().out
+        assert "positionally" in out
+        assert "more --schema flags than" in " ".join(out.split())
+
+
+class TestSpecWorkflow:
+    @pytest.fixture()
+    def spec_dir(self, tmp_path, capsys):
+        assert main(["example", "--write", str(tmp_path)]) == 0
+        capsys.readouterr()  # swallow the path announcement
+        return tmp_path
+
+    def test_example_write_emits_files(self, spec_dir):
+        for name in ("movies.xml", "movies.xsd", "mapping.xml", "run.json"):
+            assert (spec_dir / name).is_file()
+
+    def test_dedup_from_spec(self, spec_dir, capsys):
+        code = main(["dedup", "--spec", str(spec_dir / "run.json")])
+        assert code == 0
+        result = parse(capsys.readouterr().out)
+        assert result.root.tag == "dupclusters"
+        (cluster,) = result.root.find_all("dupcluster")
+        assert len(cluster.find_all("duplicate")) == 2
+
+    def test_spec_flags_override(self, spec_dir, capsys):
+        """An impossible theta_cand override yields zero clusters."""
+        code = main([
+            "dedup", "--spec", str(spec_dir / "run.json"),
+            "--theta-cand", "0.99",
+        ])
+        assert code == 0
+        result = parse(capsys.readouterr().out)
+        assert result.root.find_all("dupcluster") == []
+
+    def test_spec_conflicts_with_documents(self, spec_dir, example_files, capsys):
+        document, _, _ = example_files
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "dedup", str(document),
+                "--spec", str(spec_dir / "run.json"),
+            ])
+        assert excinfo.value.code == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dedup", "--spec", "/nonexistent/run.json"])
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_heuristic_typo_clean_error(self, spec_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "dedup", "--spec", str(spec_dir / "run.json"),
+                "--heuristic", "bogus:3",
+            ])
+        assert excinfo.value.code == 2
+        assert "unknown heuristic" in capsys.readouterr().err
+
+    def test_conditions_typo_clean_error(self, spec_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "dedup", "--spec", str(spec_dir / "run.json"),
+                "--conditions", "sdt,zzz",
+            ])
+        assert excinfo.value.code == 2
+        assert "unknown condition" in capsys.readouterr().err
+
+
+class TestMatchCommand:
+    @pytest.fixture()
+    def spec_file(self, tmp_path, capsys):
+        assert main(["example", "--write", str(tmp_path)]) == 0
+        capsys.readouterr()
+        return str(tmp_path / "run.json")
+
+    def test_match_by_object_id(self, spec_file, capsys):
+        assert main(["match", "--spec", spec_file, "--object-id", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "/moviedoc/movie[2]" in captured.out
+        assert "1 duplicate partner(s)" in captured.err
+
+    def test_match_by_path(self, spec_file, capsys):
+        code = main([
+            "match", "--spec", spec_file, "--path", "/moviedoc/movie[2]",
+        ])
+        assert code == 0
+        assert "/moviedoc/movie[1]" in capsys.readouterr().out
+
+    def test_match_without_partner(self, spec_file, capsys):
+        assert main(["match", "--spec", spec_file, "--object-id", "2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 duplicate partner(s)" in captured.err
+
+    def test_match_needs_exactly_one_selector(self, spec_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["match", "--spec", spec_file])
+        assert "exactly one of" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main([
+                "match", "--spec", spec_file,
+                "--object-id", "0", "--path", "/moviedoc/movie[1]",
+            ])
+
+    def test_match_object_id_out_of_range(self, spec_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["match", "--spec", spec_file, "--object-id", "99"])
+        assert "out of range" in capsys.readouterr().err
+
+    def test_match_unknown_path(self, spec_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["match", "--spec", spec_file, "--path", "/moviedoc/movie[9]"])
+        assert "no candidate at path" in capsys.readouterr().err
+
+    def test_match_direct_arguments(self, example_files, capsys):
+        document, schema, mapping = example_files
+        code = main([
+            "match", str(document),
+            "--mapping", str(mapping),
+            "--type", "MOVIE",
+            "--schema", str(schema),
+            "--heuristic", "rdistant:2",
+            "--theta-tuple", "0.55",
+            "--no-filter",
+            "--object-id", "1",
+        ])
+        assert code == 0
+        assert "/moviedoc/movie[1]" in capsys.readouterr().out
+
+
 class TestSuggestCommand:
     def test_suggest_with_inferred_schema(self, example_files, capsys):
         document, _, _ = example_files

@@ -25,6 +25,8 @@ from repro.eval import (
     run_experiment,
     run_filter_sweep,
     run_heuristic_sweep,
+    run_threshold_sweep,
+    session_for,
 )
 from repro.datagen import DirtyConfig
 
@@ -183,6 +185,30 @@ class TestSweeps:
         assert sweep.percentages == [0, 50]
         assert all(0 <= m.recall <= 1 for m in sweep.metrics.values())
         assert sweep.pruned[0] >= sweep.pruned[50] - 5  # fewer singletons later
+
+    def test_amortized_threshold_sweep_matches_per_point_runs(self):
+        """One session across θ_cand points == a fresh run per point."""
+        dataset = build_dataset1(base_count=20, seed=7)
+        thresholds = (0.55, 0.70)
+        sweep = run_threshold_sweep(dataset, thresholds)
+        assert list(sweep.series) == ["exp1"]
+        for threshold in thresholds:
+            metrics, _ = run_experiment(
+                dataset, KClosestDescendants(6), EXPERIMENTS[0],
+                theta_cand=threshold,
+            )
+            assert sweep.series["exp1"][threshold] == metrics
+
+    def test_threshold_sweep_with_supplied_session(self):
+        dataset = build_dataset1(base_count=15, seed=7)
+        session = session_for(dataset, KClosestDescendants(6), EXPERIMENTS[1])
+        # Without an experiment the series must not masquerade as exp1.
+        sweep = run_threshold_sweep(dataset, (0.55, 0.65), session=session)
+        assert list(sweep.series) == ["session"]
+        labeled = run_threshold_sweep(
+            dataset, (0.55,), experiment=EXPERIMENTS[1], session=session
+        )
+        assert list(labeled.series) == ["exp2"]
 
 
 class TestReporting:
