@@ -30,11 +30,11 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from ..core import DogmatixConfig, Source
-from ..core.dogmatix import DogmatixClassifierFactory
+from ..core.dogmatix import DogmatixClassifierFactory, DogmatixShardFactory
 from ..core.index import CorpusIndex
 from ..core.object_filter import ObjectFilter
 from ..core.similarity import DogmatixSimilarity
-from ..engine import ExecutionPolicy
+from ..engine import ExecutionPolicy, ShardedPairSource
 from ..framework import (
     CandidateDefinition,
     DescriptionDefinition,
@@ -227,9 +227,12 @@ class DetectionSession:
         run only — the index and similarity (which depend on
         ``theta_tuple``, not ``theta_cand``) are reused, so a threshold
         sweep pays for index construction once.  ``policy`` overrides
-        the execution policy the same way.
+        the execution policy the same way; with ``backend="shard"``
+        each worker enumerates *and* classifies its share of the
+        candidate pairs locally (results stay bit-identical).
         """
         theta = self.config.theta_cand if theta_cand is None else theta_cand
+        policy = policy or self.config.execution
         classifier = (
             self._classifier
             if theta == self.config.theta_cand
@@ -239,13 +242,21 @@ class DetectionSession:
                 possible_threshold=self.config.possible_threshold,
             )
         )
-        pair_source = None
-        object_filter = None
-        if self.config.use_blocking:
-            pair_source = SharedTupleBlocking(self._index.block_keys)
-        if self.config.use_object_filter:
-            object_filter = ObjectFilter(self._index, theta)
-            pair_source = ObjectFilterPruning(object_filter.keep, inner=pair_source)
+        shard_factory = None
+        if policy.backend == "shard":
+            pair_source, object_filter, shard_factory = self._sharded_step4(
+                theta, policy
+            )
+        else:
+            pair_source = None
+            object_filter = None
+            if self.config.use_blocking:
+                pair_source = SharedTupleBlocking(self._index.block_keys)
+            if self.config.use_object_filter:
+                object_filter = ObjectFilter(self._index, theta)
+                pair_source = ObjectFilterPruning(
+                    object_filter.keep, inner=pair_source
+                )
 
         pipeline = DetectionPipeline(
             candidate_definition=CandidateDefinition(
@@ -255,7 +266,7 @@ class DetectionSession:
             description_definition=_DUMMY_DESCRIPTION,
             classifier=classifier,
             pair_source=pair_source,
-            policy=policy or self.config.execution,
+            policy=policy,
             classifier_factory=DogmatixClassifierFactory(
                 mapping=self.mapping,
                 theta_tuple=self.config.theta_tuple,
@@ -263,10 +274,55 @@ class DetectionSession:
                 possible_threshold=self.config.possible_threshold,
                 semantics=self.config.similar_semantics,
             ),
+            shard_factory=shard_factory,
         )
         result = pipeline.detect(self._ods)
         self._last_filter = object_filter
         return result
+
+    def _sharded_step4(
+        self, theta: float, policy: ExecutionPolicy
+    ) -> tuple[ShardedPairSource, Optional[ObjectFilter], DogmatixShardFactory]:
+        """Step-4 setup for the ``shard`` backend.
+
+        The object filter (a linear per-object pass whose pruned ids
+        the result must report anyway) runs here in the parent, in
+        candidate order — exactly like the lazy serial
+        ``ObjectFilterPruning`` evaluation; the quadratic pair
+        enumeration ships to the workers as a
+        :class:`DogmatixShardFactory`.  The returned parent-side
+        :class:`ShardedPairSource` serves as the serial fallback
+        (``workers=1``) and carries the pruned ids.
+        """
+        object_filter = None
+        kept_ids: Optional[frozenset[int]] = None
+        pruned: list[int] = []
+        if self.config.use_object_filter:
+            object_filter = ObjectFilter(self._index, theta)
+            kept: list[int] = []
+            for od in self._ods:
+                (kept if object_filter.keep(od) else pruned).append(od.object_id)
+            kept_ids = frozenset(kept)
+        shard_count = policy.shard_count()
+        pair_source = ShardedPairSource(
+            shard_count,
+            block_index=self._index if self.config.use_blocking else None,
+            shard_by=policy.shard_by,
+            kept_ids=kept_ids,
+            pruned_ids=pruned,
+        )
+        shard_factory = DogmatixShardFactory(
+            mapping=self.mapping,
+            theta_tuple=self.config.theta_tuple,
+            theta_cand=theta,
+            possible_threshold=self.config.possible_threshold,
+            semantics=self.config.similar_semantics,
+            shard_count=shard_count,
+            shard_by=policy.shard_by,
+            use_blocking=self.config.use_blocking,
+            kept_ids=kept_ids,
+        )
+        return pair_source, object_filter, shard_factory
 
     # ------------------------------------------------------------------
     # Single-object lookup

@@ -21,7 +21,7 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Optional
 
 from ..core import DogmatixConfig, Source
-from ..engine import DEFAULT_BATCH_SIZE, ExecutionPolicy
+from ..engine import DEFAULT_BATCH_SIZE, SHARD_MODES, ExecutionPolicy
 from ..framework import TypeMapping, mapping_from_xml
 from ..xmlkit import parse_file, parse_schema_file
 from .registries import BACKENDS, SEMANTICS, condition_from_spec, heuristic_from_spec
@@ -48,10 +48,12 @@ class RunSpec:
         ``"kclosest:6"`` and ``"sdt,me"``.
     theta_tuple ... similar_semantics:
         The corresponding :class:`DogmatixConfig` fields.
-    workers / batch_size / backend:
+    workers / batch_size / backend / shard_by:
         The execution policy.  ``backend=None`` derives it from the
         worker count (``process`` when > 1); ``workers=0`` means all
-        cores.
+        cores.  ``backend="shard"`` moves pair generation into the
+        workers; ``shard_by`` picks its strategy (``block`` |
+        ``object``) and is ignored by the other backends.
     """
 
     documents: list[str]
@@ -70,6 +72,7 @@ class RunSpec:
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     backend: Optional[str] = None
+    shard_by: str = "block"
 
     def __post_init__(self) -> None:
         if not self.documents:
@@ -84,6 +87,10 @@ class RunSpec:
         SEMANTICS.get(self.similar_semantics)
         if self.backend is not None:
             BACKENDS.get(self.backend)
+        if self.shard_by not in SHARD_MODES:
+            raise ValueError(
+                f"shard_by must be one of {SHARD_MODES}, got {self.shard_by!r}"
+            )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
 
@@ -91,12 +98,23 @@ class RunSpec:
     # Config / policy
     # ------------------------------------------------------------------
     def execution_policy(self) -> ExecutionPolicy:
-        """The execution policy this spec describes."""
-        if self.backend is None:
+        """The execution policy this spec describes.
+
+        A non-default ``shard_by`` with no explicit backend selects the
+        shard backend — mirroring the CLI, where ``--shard-by`` implies
+        it — instead of silently demoting the requested sharding to
+        parent-side enumeration.  (The default ``shard_by="block"`` is
+        indistinguishable from "unset", so plain block sharding needs
+        ``backend="shard"`` spelled out.)
+        """
+        if self.backend is None and self.shard_by == "block":
             return ExecutionPolicy.for_workers(self.workers, self.batch_size)
         workers = self.workers or (os.cpu_count() or 1)
         return ExecutionPolicy(
-            workers=workers, batch_size=self.batch_size, backend=self.backend
+            workers=workers,
+            batch_size=self.batch_size,
+            backend=self.backend or "shard",
+            shard_by=self.shard_by,
         )
 
     def to_config(self) -> DogmatixConfig:

@@ -31,7 +31,7 @@ from .api import (
 )
 from .api.registries import SEMANTICS
 from .core.candidates_auto import suggest_candidates
-from .engine import DEFAULT_BATCH_SIZE
+from .engine import SHARD_MODES
 from .xmlkit import infer_schema, parse_file, parse_schema_file
 
 
@@ -94,11 +94,18 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the object filter")
     parser.add_argument("--workers", type=_bounded_int(0, "workers"),
                         default=None,
-                        help="classification worker processes "
-                             "(1 = serial, 0 = all cores)")
+                        help="worker processes for pair classification — "
+                             "and, with --shard-by, for pair generation "
+                             "too (1 = serial, 0 = all cores)")
     parser.add_argument("--batch-size", type=_bounded_int(1, "batch size"),
                         default=None,
                         help="candidate pairs per classification batch")
+    parser.add_argument("--shard-by", choices=SHARD_MODES, default=None,
+                        help="shard pair generation into the workers "
+                             "(backend 'shard'): 'block' hashes blocking "
+                             "keys onto shards, 'object' balances "
+                             "ownership per pair; results are "
+                             "bit-identical to serial either way")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,9 +205,16 @@ def _spec_from_args(
         spec.use_object_filter = False
     if args.workers is not None:
         spec.workers = args.workers
-        spec.backend = None  # re-derive from the worker count
+        if spec.backend != "shard":
+            spec.backend = None  # re-derive from the worker count;
+            # a spec-declared shard backend is kept (only --shard-by
+            # or the spec itself selects it, and re-deriving would
+            # silently demote it to parent-side enumeration)
     if args.batch_size is not None:
         spec.batch_size = args.batch_size
+    if args.shard_by is not None:
+        spec.shard_by = args.shard_by
+        spec.backend = "shard"  # sharded generation needs the shard backend
     return spec
 
 

@@ -17,7 +17,7 @@ from .conditions import (
 )
 from .candidates_auto import CandidateSuggestion, best_candidate, suggest_candidates
 from .config import DogmatixConfig
-from .dogmatix import DogmatiX, DogmatixClassifierFactory, Source
+from .dogmatix import DogmatiX, DogmatixClassifierFactory, DogmatixShardFactory, Source
 from .heuristics import (
     CombinedHeuristic,
     Heuristic,
@@ -45,6 +45,7 @@ __all__ = [
     "DescriptionSelector",
     "DogmatiX",
     "DogmatixClassifierFactory",
+    "DogmatixShardFactory",
     "DogmatixConfig",
     "DogmatixSimilarity",
     "FilterDecision",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..engine.sharder import ShardedPairSource
 from ..framework import (
     DetectionResult,
     ObjectDescription,
@@ -61,6 +62,55 @@ class DogmatixClassifierFactory:
             self.theta_cand,
             possible_threshold=self.possible_threshold,
         )
+
+
+@dataclass(frozen=True)
+class DogmatixShardFactory:
+    """Shard runtime for DogmatiX: one worker-local index drives both
+    blocking keys (step 4) and similarity (step 5).
+
+    The engine's shard backend calls this once per worker with the full
+    element-stripped OD instance.  The worker rebuilds the same
+    deterministic :class:`CorpusIndex` the parent holds, derives the
+    classifier from it, and derives the
+    :class:`~repro.engine.sharder.ShardedPairSource` from the *same*
+    index's ``block_keys`` — so worker-side pair enumeration sees
+    exactly the similar-value groups the parent-side blocking would,
+    and results stay bit-identical to serial.
+
+    ``kept_ids`` carries the parent's object-filter decisions: the
+    filter is a per-object O(n) pass the parent runs anyway (it must
+    report ``pruned_object_ids``), so only the quadratic enumeration is
+    sharded.
+    """
+
+    mapping: TypeMapping
+    theta_tuple: float
+    theta_cand: float
+    possible_threshold: float | None
+    semantics: str
+    shard_count: int
+    shard_by: str = "block"
+    use_blocking: bool = True
+    kept_ids: frozenset[int] | None = None
+
+    def __call__(
+        self, ods: Sequence[ObjectDescription]
+    ) -> tuple[ThresholdClassifier, ShardedPairSource]:
+        index = CorpusIndex(ods, self.mapping, self.theta_tuple)
+        similarity = DogmatixSimilarity(index, semantics=self.semantics)
+        classifier = ThresholdClassifier(
+            similarity,
+            self.theta_cand,
+            possible_threshold=self.possible_threshold,
+        )
+        source = ShardedPairSource(
+            self.shard_count,
+            block_index=index if self.use_blocking else None,
+            shard_by=self.shard_by,
+            kept_ids=self.kept_ids,
+        )
+        return classifier, source
 
 
 @dataclass(frozen=True)

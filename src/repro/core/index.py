@@ -134,6 +134,40 @@ class CorpusIndex:
     # ------------------------------------------------------------------
     # Blocking
     # ------------------------------------------------------------------
+    def block_terms(self) -> Iterable[tuple[str, str]]:
+        """All distinct (comparison key, value) terms of the corpus.
+
+        These are exactly the possible shared-tuple block keys: a block
+        ``(k, w)`` groups the objects holding a value similar to ``w``
+        of kind ``k``.  Sharded pair generation partitions *these* so a
+        worker performs one similar-value search per owned term instead
+        of one per corpus tuple (see ``engine.sharder``).
+        """
+        return self._occurrences.keys()
+
+    def block_members(self, term: tuple[str, str]) -> set[int]:
+        """Ids of the objects in the ``(key, value)`` term's block.
+
+        ``od in block_members((k, w))`` iff ``(k, w) in block_keys(od)``
+        — the inverted view of the same block structure, relying on the
+        symmetry of the normalized edit distance.
+        """
+        key, value = term
+        return self.objects_with_similar(key, value)
+
+    def od_terms(self, od: ObjectDescription) -> set[tuple[str, str]]:
+        """The object's *direct* terms: its own (key, value) tuples.
+
+        Free to compute (no similarity searches) and always a subset of
+        :meth:`block_keys` (every value is similar to itself for
+        ``theta_tuple > 0``) — sharded generation resolves most pair
+        ownership from these alone.
+        """
+        return {
+            (self.mapping.comparison_key(odt.name), odt.value)
+            for odt in od.tuples
+        }
+
     def block_keys(self, od: ObjectDescription) -> Iterable[tuple[str, str]]:
         """Block keys for shared-tuple blocking.
 

@@ -1,11 +1,14 @@
-"""engine: batched, optionally parallel execution of pipeline step 5.
+"""engine: batched, optionally parallel execution of pipeline steps 4+5.
 
 The architectural seam between *what* is compared (framework, core) and
 *how* the comparisons run.  :class:`ExecutionPolicy` picks a backend and
 its knobs, :class:`PairBatcher` turns any pair source into fixed-size
-work units, and :class:`ParallelClassifier` executes them — serially or
-across ``multiprocessing`` workers — with results guaranteed identical
-to the serial order (see ``tests/test_engine_parallel.py``).
+work units, :class:`ShardedPairSource` partitions pair *generation*
+into deterministic shards, and :class:`ParallelClassifier` executes the
+work — serially, across ``multiprocessing`` workers (parent-enumerated
+batches), or sharded (worker-enumerated pairs) — with results
+guaranteed identical to the serial order (see
+``tests/test_engine_parallel.py`` and ``tests/test_shard_equivalence.py``).
 """
 
 from .batcher import PairBatcher, chunked
@@ -16,17 +19,39 @@ from .executor import (
     bare_ods,
     score_batch,
 )
-from .policy import BACKENDS, DEFAULT_BATCH_SIZE, ExecutionPolicy
+from .policy import (
+    BACKENDS,
+    DEFAULT_BATCH_SIZE,
+    SHARD_FACTOR,
+    SHARD_MODES,
+    ExecutionPolicy,
+)
+from .sharder import (
+    AssembledShardFactory,
+    PairShard,
+    ShardablePairSource,
+    ShardedPairSource,
+    ShardRuntimeFactory,
+    stable_hash,
+)
 
 __all__ = [
+    "AssembledShardFactory",
     "BACKENDS",
     "DEFAULT_BATCH_SIZE",
     "ClassifierFactory",
     "ConstantClassifierFactory",
     "ExecutionPolicy",
     "PairBatcher",
+    "PairShard",
     "ParallelClassifier",
+    "SHARD_FACTOR",
+    "SHARD_MODES",
+    "ShardablePairSource",
+    "ShardedPairSource",
+    "ShardRuntimeFactory",
     "bare_ods",
     "chunked",
     "score_batch",
+    "stable_hash",
 ]

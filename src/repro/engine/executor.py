@@ -1,8 +1,8 @@
-"""Batched pair classification across workers (pipeline step 5).
+"""Batched pair classification across workers (pipeline steps 4+5).
 
 The :class:`ParallelClassifier` executes the classification of candidate
 pairs over the batches a :class:`~repro.engine.batcher.PairBatcher`
-produces.  Two backends share the scoring code path:
+produces.  Three backends share the scoring code path:
 
 * **serial** — batches are classified in-process; this is the
   zero-dependency fallback and, by construction, the ``workers=1`` case
@@ -13,7 +13,16 @@ produces.  Two backends share the scoring code path:
   :class:`~repro.core.index.CorpusIndex` per worker, not per pair.
   Batch payloads are plain id pairs; results are the kept
   :class:`~repro.framework.result.ScoredPair` lists, concatenated in
-  batch order so every backend yields the identical pair sequence.
+  batch order so every backend yields the identical pair sequence;
+* **shard** — pair *generation* moves into the workers too: the pool
+  payload is shard ids, and each worker enumerates and classifies its
+  shards' pairs locally via a
+  :class:`~repro.engine.sharder.ShardRuntimeFactory` (for DogmatiX one
+  index per worker drives both blocking keys and similarity), so pair
+  batches never cross the process boundary.  Kept pairs come back in
+  shard order, which generally differs from the serial enumeration
+  order — the pipeline orders result pairs canonically, so results
+  stay bit-identical across backends (``tests/test_shard_equivalence``).
 
 Classifier construction inside workers goes through a *classifier
 factory*: a picklable callable ``factory(ods) -> classifier``.  When no
@@ -41,8 +50,9 @@ from ..framework.classifier import Classifier, DUPLICATES, POSSIBLE_DUPLICATES
 from ..framework.od import ObjectDescription
 from ..framework.pruning import PairSource
 from ..framework.result import ScoredPair
-from .batcher import PairBatcher
+from .batcher import PairBatcher, chunked
 from .policy import ExecutionPolicy
+from .sharder import AssembledShardFactory, ShardRuntimeFactory
 
 #: ``factory(ods) -> classifier``; must be picklable for the process
 #: backend (module-level callables and frozen dataclasses qualify).
@@ -118,6 +128,37 @@ def _score_batch_in_worker(batch: list[tuple[int, int]]) -> list[ScoredPair]:
     )
 
 
+def _init_shard_worker(
+    factory: ShardRuntimeFactory,
+    ods: Sequence[ObjectDescription],
+    keep_possible: bool,
+    batch_size: int,
+) -> None:
+    classifier, source = factory(ods)
+    _WORKER_STATE["ods"] = ods
+    _WORKER_STATE["by_id"] = {od.object_id: od for od in ods}
+    _WORKER_STATE["classifier"] = classifier
+    _WORKER_STATE["source"] = source
+    _WORKER_STATE["keep_possible"] = keep_possible
+    _WORKER_STATE["batch_size"] = batch_size
+
+
+def _score_shard_in_worker(shard_id: int) -> tuple[list[ScoredPair], int]:
+    """Enumerate and classify one shard entirely inside the worker."""
+    source = _WORKER_STATE["source"]
+    ods = _WORKER_STATE["ods"]
+    by_id = _WORKER_STATE["by_id"]
+    classifier = _WORKER_STATE["classifier"]
+    keep_possible = bool(_WORKER_STATE["keep_possible"])
+    kept: list[ScoredPair] = []
+    compared = 0
+    pair_stream = source.shard_pairs(ods, shard_id)  # type: ignore[union-attr]
+    for batch in chunked(pair_stream, int(_WORKER_STATE["batch_size"])):  # type: ignore[arg-type]
+        compared += len(batch)
+        kept.extend(score_batch(batch, by_id, classifier, keep_possible))  # type: ignore[arg-type]
+    return kept, compared
+
+
 class ParallelClassifier:
     """Executes step 5 over pair batches, serially or across processes.
 
@@ -131,6 +172,14 @@ class ParallelClassifier:
         Picklable ``factory(ods) -> classifier`` rebuilding the
         classifier inside each worker.  Defaults to shipping
         ``classifier`` itself.
+    shard_factory:
+        Picklable :class:`~repro.engine.sharder.ShardRuntimeFactory`
+        building classifier *and* shardable pair source inside each
+        worker; required for worker-side pair generation under the
+        ``shard`` backend.  Without one, a picklable
+        :class:`~repro.engine.sharder.ShardablePairSource` passed to
+        :meth:`run` is shipped by value; failing that the shard backend
+        degrades to parent-side enumeration (process, then serial).
     keep_possible:
         Materialize C2 ("possible duplicates") pairs in the result.
     """
@@ -141,10 +190,12 @@ class ParallelClassifier:
         policy: ExecutionPolicy | None = None,
         classifier_factory: ClassifierFactory | None = None,
         keep_possible: bool = True,
+        shard_factory: ShardRuntimeFactory | None = None,
     ) -> None:
         self.classifier = classifier
         self.policy = policy or ExecutionPolicy()
         self.classifier_factory = classifier_factory
+        self.shard_factory = shard_factory
         self.keep_possible = keep_possible
         #: Backend that actually ran the last :meth:`run` call.
         self.last_backend: str | None = None
@@ -157,9 +208,16 @@ class ParallelClassifier:
     ) -> tuple[list[ScoredPair], int]:
         """Classify every pair the source yields.
 
-        Returns ``(kept_pairs, compared_count)`` with ``kept_pairs`` in
-        the source's pair order regardless of backend.
+        Returns ``(kept_pairs, compared_count)``.  Under the serial and
+        process backends ``kept_pairs`` follows the source's pair
+        order; under the shard backend it follows shard order (the
+        pipeline canonicalizes result order, so downstream results are
+        identical either way).
         """
+        if self.policy.backend == "shard" and self.policy.workers > 1:
+            factory = self._resolve_shard_factory(pair_source)
+            if factory is not None and _picklable(factory):
+                return self._run_shard(ods, factory)
         batches = PairBatcher(self.policy.batch_size).batches(pair_source, ods)
         if self.policy.parallel:
             factory = self.classifier_factory or ConstantClassifierFactory(
@@ -168,6 +226,21 @@ class ParallelClassifier:
             if _picklable(factory):
                 return self._run_process(ods, batches, factory)
         return self._run_serial(ods, batches)
+
+    def _resolve_shard_factory(
+        self, pair_source: PairSource
+    ) -> ShardRuntimeFactory | None:
+        if self.shard_factory is not None:
+            return self.shard_factory
+        if (
+            hasattr(pair_source, "shard_pairs")
+            and getattr(pair_source, "shard_count", 0) >= 1
+        ):
+            classifier_factory = self.classifier_factory or (
+                ConstantClassifierFactory(self.classifier)
+            )
+            return AssembledShardFactory(classifier_factory, pair_source)  # type: ignore[arg-type]
+        return None
 
     # ------------------------------------------------------------------
     def _run_serial(
@@ -213,6 +286,32 @@ class ParallelClassifier:
             for scored in pool.imap(_score_batch_in_worker, counted()):
                 pairs.extend(scored)
         return pairs, sum(batch_sizes)
+
+    def _run_shard(
+        self,
+        ods: Sequence[ObjectDescription],
+        factory: ShardRuntimeFactory,
+    ) -> tuple[list[ScoredPair], int]:
+        """Worker-side pair generation: ship shard ids, not pair batches."""
+        self.last_backend = "shard"
+        payload = bare_ods(ods)
+        pairs: list[ScoredPair] = []
+        compared = 0
+        context = multiprocessing.get_context()
+        with context.Pool(
+            processes=self.policy.workers,
+            initializer=_init_shard_worker,
+            initargs=(factory, payload, self.keep_possible, self.policy.batch_size),
+        ) as pool:
+            # imap over shard ids: workers pull shards as they free up
+            # (more shards than workers -> dynamic balancing of uneven
+            # blocks) while results arrive in deterministic shard order.
+            for kept, shard_compared in pool.imap(
+                _score_shard_in_worker, range(factory.shard_count)
+            ):
+                pairs.extend(kept)
+                compared += shard_compared
+        return pairs, compared
 
 
 def _picklable(value: object) -> bool:

@@ -1,11 +1,21 @@
-"""Execution policy: how step 5 (pairwise classification) is executed.
+"""Execution policy: how steps 4+5 (pair generation and classification)
+are executed.
 
 The detection pipeline is algorithm-agnostic about *what* it compares;
 the execution policy makes it agnostic about *how*: one knob object
-selects the backend (in-process serial or ``multiprocessing``), the
-worker count, and the pair batch size that every backend consumes.
-Serial execution is simply the one-worker case of the batched path, so
-every mode shares one code path and one result format.
+selects the backend, the worker count, and the pair batch size that
+every backend consumes.  Serial execution is simply the one-worker case
+of the batched path, so every mode shares one code path and one result
+format.
+
+Backends differ in *where* work happens:
+
+* ``serial`` and ``process`` enumerate candidate pairs in the parent
+  (step 4) and only fan classification (step 5) out to workers;
+* ``shard`` moves pair generation into the workers as well: each worker
+  enumerates *and* classifies the pairs of its shards locally, so pair
+  payloads never cross the process boundary (see
+  :mod:`repro.engine.sharder`).
 """
 
 from __future__ import annotations
@@ -16,34 +26,58 @@ from dataclasses import dataclass
 #: Supported execution backends.
 #:
 #: * ``serial``  — classify batches in-process (zero dependencies);
-#: * ``process`` — fan batches out across ``multiprocessing`` workers.
-BACKENDS = ("serial", "process")
+#: * ``process`` — fan batches out across ``multiprocessing`` workers
+#:   (pairs are enumerated in the parent and pickled to workers);
+#: * ``shard``   — workers enumerate *and* classify their shards' pairs
+#:   locally (worker-side pair generation; see ``engine.sharder``).
+BACKENDS = ("serial", "process", "shard")
+
+#: Sharding strategies of the ``shard`` backend.
+#:
+#: * ``block``  — blocking keys are hashed onto shards; each worker
+#:   enumerates only the blocks of its shards (cheapest per worker,
+#:   but a single giant block stays on one shard);
+#: * ``object`` — ownership is hashed per pair; every worker enumerates
+#:   the full block structure but classifies only its own pairs
+#:   (balanced even under extreme block skew).
+SHARD_MODES = ("block", "object")
 
 DEFAULT_BATCH_SIZE = 256
+
+#: Shards per worker under the ``shard`` backend.  More shards than
+#: workers lets ``imap`` balance uneven blocks dynamically; results are
+#: invariant under the shard count (pair ownership is deterministic and
+#: results are canonically ordered), so this is purely a scheduling
+#: knob.
+SHARD_FACTOR = 4
 
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
-    """How classification work is scheduled.
+    """How detection work is scheduled.
 
     Attributes
     ----------
     workers:
-        Worker processes for the ``process`` backend; must be >= 1.
-        More than one worker requires ``backend="process"`` — a
-        multi-worker serial policy would silently run single-process,
-        so it is rejected (use :meth:`for_workers` to derive both
-        fields from a count).
+        Worker processes for the ``process`` and ``shard`` backends;
+        must be >= 1.  More than one worker requires a parallel
+        backend — a multi-worker serial policy would silently run
+        single-process, so it is rejected (use :meth:`for_workers` to
+        derive both fields from a count).
     batch_size:
         Pairs per batch handed to a worker (also the unit of the serial
-        loop); must be >= 1.
+        loop and of the worker-local shard loop); must be >= 1.
     backend:
-        ``"serial"`` or ``"process"``.
+        ``"serial"``, ``"process"``, or ``"shard"``.
+    shard_by:
+        Sharding strategy for the ``shard`` backend (``"block"`` or
+        ``"object"``); ignored by the other backends.
     """
 
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     backend: str = "serial"
+    shard_by: str = "block"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -53,6 +87,10 @@ class ExecutionPolicy:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.shard_by not in SHARD_MODES:
+            raise ValueError(
+                f"shard_by must be one of {SHARD_MODES}, got {self.shard_by!r}"
             )
         if self.workers > 1 and self.backend == "serial":
             raise ValueError(
@@ -77,7 +115,38 @@ class ExecutionPolicy:
             backend="process" if workers > 1 else "serial",
         )
 
+    @classmethod
+    def sharded(
+        cls,
+        workers: int,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        shard_by: str = "block",
+    ) -> "ExecutionPolicy":
+        """Shard-backend policy for a worker count (0 = all cores)."""
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        return cls(
+            workers=workers,
+            batch_size=batch_size,
+            backend="shard",
+            shard_by=shard_by,
+        )
+
     @property
     def parallel(self) -> bool:
         """True iff this policy fans work out across processes."""
-        return self.backend == "process" and self.workers > 1
+        return self.backend in ("process", "shard") and self.workers > 1
+
+    def shard_count(self) -> int:
+        """Shards to partition pair generation into (shard backend).
+
+        ``block`` mode oversubscribes (``SHARD_FACTOR`` shards per
+        worker) so ``imap`` can balance uneven blocks dynamically.
+        ``object`` mode gets exactly one shard per worker: its per-pair
+        hash ownership is already uniform, and every object-mode shard
+        walks the full block structure, so extra shards would only
+        multiply that walk.
+        """
+        if self.shard_by == "object":
+            return self.workers
+        return self.workers * SHARD_FACTOR

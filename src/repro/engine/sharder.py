@@ -1,0 +1,377 @@
+"""Sharded pair generation: step 4 partitioned across workers.
+
+The serial and ``process`` backends enumerate candidate pairs in the
+parent (:class:`~repro.framework.pruning.SharedTupleBlocking` et al.)
+and at best parallelize classification.  This module makes *generation*
+itself shardable: block structure is an independence boundary — pairs
+from disjoint blocks can be enumerated and scored with no cross-talk —
+so the blocking keys are partitioned into shards and each worker
+enumerates only its own share.
+
+Correctness hinges on two deterministic rules:
+
+* **Shard assignment** uses :func:`stable_hash` (CRC-32 of the key's
+  ``repr``) — Python's built-in ``hash`` is randomized per process and
+  would scatter blocks differently in every worker.
+* **Pair ownership**: one pair may appear in several blocks, possibly
+  on different shards.  Pairs whose blocks all live on one shard are
+  purely block-local; pairs whose blocks the shard assignment splits
+  form the *cross-shard residual* and need a deterministic owner every
+  worker can compute locally.  Two pairs of ownership rules apply in
+  order: a pair whose objects share a **direct** term (same kind, same
+  value — free to check, no similarity searches) belongs to its minimal
+  direct common term; only a pair related exclusively through *similar*
+  values falls back to the minimal common block key, which costs the
+  similarity-expanded key sets of the two objects (lazy, memoized).
+  Either way each pair is emitted exactly once, by exactly one shard,
+  with no inter-worker communication.
+
+The emitted pair *set* equals the wrapped blocking's pair set, and the
+pipeline orders result pairs canonically, so the sharded backend is
+bit-identical to serial for any shard count — the invariant
+``tests/test_shard_equivalence.py`` fuzzes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+from ..framework.classifier import Classifier
+from ..framework.od import ObjectDescription
+from .policy import SHARD_MODES
+
+
+def stable_hash(value: object) -> int:
+    """Process-stable hash (CRC-32 over ``repr``).
+
+    Built-in ``hash`` is seeded per interpreter for strings, so it can
+    never be used to agree on shard assignment across worker processes.
+    Block keys must therefore have a deterministic ``repr`` (strings,
+    numbers, and tuples of those qualify).
+    """
+    if isinstance(value, bytes):
+        data = value
+    else:
+        data = repr(value).encode("utf-8", "backslashreplace")
+    return zlib.crc32(data)
+
+
+@dataclass(frozen=True)
+class PairShard:
+    """One unit of worker-side pair generation."""
+
+    shard_id: int
+    shard_count: int
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {self.shard_count}")
+        if not 0 <= self.shard_id < self.shard_count:
+            raise ValueError(
+                f"shard_id must be in [0, {self.shard_count}), got {self.shard_id}"
+            )
+
+
+@runtime_checkable
+class BlockIndex(Protocol):
+    """Inverted view of a blocking structure.
+
+    ``block_terms()`` yields every candidate block key; ``block_members``
+    resolves one key to its member object ids; ``od_terms`` gives one
+    object's *direct* terms (no similarity expansion — must be cheap);
+    ``block_keys`` gives the object's full similarity-expanded key set.
+    The contracts tying them together:
+
+    * ``object_id in block_members(term)`` iff ``term in block_keys(od)``;
+    * ``od_terms(od)`` is a subset of ``block_keys(od)`` whenever the
+      object appears in any block (self-similarity).
+
+    :class:`repro.core.index.CorpusIndex` satisfies this with one
+    similar-value search per term — which is what lets a shard resolve
+    *only its own* blocks instead of rebuilding the full structure.
+    """
+
+    def block_terms(self) -> Iterable[object]: ...  # pragma: no cover
+
+    def block_members(
+        self, term: object
+    ) -> Iterable[int]: ...  # pragma: no cover
+
+    def od_terms(
+        self, od: ObjectDescription
+    ) -> Iterable[object]: ...  # pragma: no cover
+
+    def block_keys(
+        self, od: ObjectDescription
+    ) -> Iterable[object]: ...  # pragma: no cover
+
+
+@runtime_checkable
+class ShardablePairSource(Protocol):
+    """A pair source whose enumeration partitions into disjoint shards.
+
+    ``pairs()`` (the plain :class:`~repro.framework.pruning.PairSource`
+    protocol) must equal the concatenation of ``shard_pairs(ods, s)``
+    for ``s`` in ``range(shard_count)``; the shards' pair sets must be
+    pairwise disjoint.
+    """
+
+    shard_count: int
+
+    def pairs(
+        self, ods: Sequence[ObjectDescription]
+    ) -> Iterator[tuple[int, int]]: ...  # pragma: no cover - protocol
+
+    def shard_pairs(
+        self, ods: Sequence[ObjectDescription], shard_id: int
+    ) -> Iterator[tuple[int, int]]: ...  # pragma: no cover - protocol
+
+
+class ShardRuntimeFactory(Protocol):
+    """Builds, inside a worker, everything one shard run needs.
+
+    Must be picklable; called once per worker (by the pool initializer)
+    with the full element-stripped OD instance.  Returns the classifier
+    and the shardable pair source — built together so implementations
+    can share one expensive substrate (for DogmatiX: one
+    :class:`~repro.core.index.CorpusIndex` drives both similarity and
+    blocking keys).
+    """
+
+    shard_count: int
+
+    def __call__(
+        self, ods: Sequence[ObjectDescription]
+    ) -> tuple[Classifier, ShardablePairSource]: ...  # pragma: no cover
+
+
+class ShardedPairSource:
+    """Partitions candidate-pair enumeration into deterministic shards.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of shards; enumeration order is shard 0 .. N-1 when used
+        as a plain serial :class:`PairSource`.
+    block_index:
+        A :class:`BlockIndex` (e.g. the DogmatiX
+        :class:`~repro.core.index.CorpusIndex`).  A shard resolves the
+        members of *its own* block terms only — under
+        ``shard_by="block"`` that is one similar-value search per owned
+        term, about ``1/shard_count`` of the work a parent-side
+        blocking pass performs.  Ownership of pairs the blocking key
+        splits across shards resolves through direct terms first (free)
+        and lazily memoized expanded key sets only for similar-valued
+        pairs.  ``None`` means all pairs (the quadratic baseline),
+        sharded by object rows.
+    shard_by:
+        ``"block"`` — blocks are hashed onto shards and each shard
+        enumerates only its own blocks; ``"object"`` — ownership is
+        hashed per pair, so even one giant block spreads evenly (at the
+        cost of every shard walking the full block structure).
+    kept_ids:
+        Object-filter survivors; ``None`` disables filtering.  The
+        filter decision itself stays in the caller (it needs the full
+        corpus either way); only enumeration is restricted here.
+    pruned_ids:
+        Ids the caller's object filter pruned, carried for the
+        pipeline's :class:`~repro.framework.result.DetectionResult`
+        (mirrors ``ObjectFilterPruning.pruned_ids``).
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        block_index: BlockIndex | None = None,
+        shard_by: str = "block",
+        kept_ids: Iterable[int] | None = None,
+        pruned_ids: Iterable[int] = (),
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        if shard_by not in SHARD_MODES:
+            raise ValueError(
+                f"shard_by must be one of {SHARD_MODES}, got {shard_by!r}"
+            )
+        self.shard_count = shard_count
+        self.block_index = block_index
+        self.shard_by = shard_by
+        self.kept_ids = None if kept_ids is None else frozenset(kept_ids)
+        self.pruned_ids = list(pruned_ids)
+        # Ownership memos, shared across shards and calls (both depend
+        # only on the provider): per-object direct terms (cheap) and
+        # similarity-expanded key sets (searches; resolved lazily, only
+        # for pairs without a direct common term).
+        self._od_direct: dict[int, frozenset[str]] = {}
+        self._od_keys: dict[int, frozenset[str]] = {}
+        # Canonically sorted block terms (a worker serves several
+        # shards; the term universe is fixed per provider).
+        self._terms: list[tuple[str, object]] | None = None
+
+    # ------------------------------------------------------------------
+    # PairSource protocol (serial / parent-side use)
+    # ------------------------------------------------------------------
+    def pairs(self, ods: Sequence[ObjectDescription]) -> Iterator[tuple[int, int]]:
+        """All pairs, shard by shard (the serial view of this source)."""
+        for shard_id in range(self.shard_count):
+            yield from self.shard_pairs(ods, shard_id)
+
+    # ------------------------------------------------------------------
+    # Shard-local enumeration
+    # ------------------------------------------------------------------
+    def shard_pairs(
+        self, ods: Sequence[ObjectDescription], shard_id: int
+    ) -> Iterator[tuple[int, int]]:
+        """The pairs shard ``shard_id`` owns, exactly once each."""
+        PairShard(shard_id, self.shard_count)  # validates the id
+        kept = (
+            list(ods)
+            if self.kept_ids is None
+            else [od for od in ods if od.object_id in self.kept_ids]
+        )
+        if self.block_index is not None:
+            yield from self._block_shard(kept, shard_id)
+        else:
+            yield from self._all_pairs_shard(kept, shard_id)
+
+    def _shard_of_key(self, canon_key: str) -> int:
+        return stable_hash(canon_key) % self.shard_count
+
+    def _shard_of_pair(self, a: int, b: int) -> int:
+        return stable_hash(b"%d:%d" % (a, b)) % self.shard_count
+
+    # -- all-pairs (no blocking) ---------------------------------------
+    def _all_pairs_shard(
+        self, kept: Sequence[ObjectDescription], shard_id: int
+    ) -> Iterator[tuple[int, int]]:
+        ids = [od.object_id for od in kept]
+        if self.shard_by == "object":
+            for a in range(len(ids)):
+                for b in range(a + 1, len(ids)):
+                    if self._shard_of_pair(ids[a], ids[b]) == shard_id:
+                        yield ids[a], ids[b]
+        else:  # row sharding: shard owns the rows of its left objects
+            for a in range(len(ids)):
+                if stable_hash(ids[a]) % self.shard_count != shard_id:
+                    continue
+                for b in range(a + 1, len(ids)):
+                    yield ids[a], ids[b]
+
+    # -- blocking (inverted provider; one search per owned term) -------
+    def _od_canon_direct(self, od: ObjectDescription) -> frozenset[str]:
+        assert self.block_index is not None
+        cached = self._od_direct.get(od.object_id)
+        if cached is None:
+            cached = frozenset(
+                repr(term) for term in set(self.block_index.od_terms(od))
+            )
+            self._od_direct[od.object_id] = cached
+        return cached
+
+    def _od_canon_keys(self, od: ObjectDescription) -> frozenset[str]:
+        assert self.block_index is not None
+        cached = self._od_keys.get(od.object_id)
+        if cached is None:
+            cached = frozenset(
+                repr(key) for key in set(self.block_index.block_keys(od))
+            )
+            self._od_keys[od.object_id] = cached
+        return cached
+
+    def _owner_key(self, od_a: ObjectDescription, od_b: ObjectDescription) -> str:
+        """The canonical key of the block that owns this pair.
+
+        Ownership must be a pure function of the pair so that every
+        block enumerating it — on any shard — agrees without
+        communication.  ``repr`` canonicalization gives keys a total
+        order and a process-stable hash input independent of their
+        type.  Two tiers, by cost: a direct common term (same kind,
+        same value; no searches) wins if one exists — in realistic
+        corpora that covers almost every blocked pair — else the pair
+        is related through similar values only and its minimal common
+        *expanded* key decides, paying the two objects' memoized
+        similarity-expanded key sets.
+        """
+        direct = self._od_canon_direct(od_a) & self._od_canon_direct(od_b)
+        if direct:
+            return min(direct)
+        return min(self._od_canon_keys(od_a) & self._od_canon_keys(od_b))
+
+    def _block_shard(
+        self, kept: Sequence[ObjectDescription], shard_id: int
+    ) -> Iterator[tuple[int, int]]:
+        """Enumerate via :class:`BlockIndex`: resolve owned terms only.
+
+        Under ``shard_by="block"`` a shard touches just the terms that
+        hash to it — ~``1/shard_count`` of the similar-value searches.
+        ``shard_by="object"`` walks every term (ownership is per pair),
+        trading that saving for balance under block skew.
+        """
+        index = self.block_index
+        assert index is not None
+        kept_by_id = {od.object_id: od for od in kept}
+        by_pair = self.shard_by == "object"
+        if self._terms is None:
+            self._terms = sorted(
+                (repr(term), term) for term in index.block_terms()
+            )
+        for canon_key, term in self._terms:
+            if not by_pair and self._shard_of_key(canon_key) != shard_id:
+                continue
+            members = sorted(
+                member
+                for member in index.block_members(term)
+                if member in kept_by_id
+            )
+            for a in range(len(members)):
+                od_a = kept_by_id[members[a]]
+                for b in range(a + 1, len(members)):
+                    # Cheap per-pair hash filter first (object mode
+                    # walks every block on every shard, so ~(W-1)/W of
+                    # the pairs are discarded here before the ownership
+                    # computation).
+                    if by_pair and self._shard_of_pair(
+                        members[a], members[b]
+                    ) != shard_id:
+                        continue
+                    # Emitting only at the pair's owner block dedups
+                    # across blocks — both within this shard and across
+                    # shards (the cross-shard residual) — without any
+                    # set of seen pairs.
+                    if self._owner_key(od_a, kept_by_id[members[b]]) != canon_key:
+                        continue
+                    yield members[a], members[b]
+
+    def __repr__(self) -> str:
+        mode = "all-pairs" if self.block_index is None else "blocking"
+        return (
+            f"<ShardedPairSource {mode} shard_by={self.shard_by!r} "
+            f"shards={self.shard_count}>"
+        )
+
+
+@dataclass(frozen=True)
+class AssembledShardFactory:
+    """Shard runtime from independent classifier-factory + source parts.
+
+    The executor uses this when a pipeline provides a picklable
+    :class:`ShardablePairSource` but no combined
+    :class:`ShardRuntimeFactory`.  Prefer a combined factory when the
+    classifier and the source share an expensive substrate — this
+    assembly ships the source by value, which for index-backed blocking
+    means pickling the index.
+    """
+
+    classifier_factory: Callable[[Sequence[ObjectDescription]], Classifier]
+    source: ShardablePairSource
+
+    @property
+    def shard_count(self) -> int:
+        return self.source.shard_count
+
+    def __call__(
+        self, ods: Sequence[ObjectDescription]
+    ) -> tuple[Classifier, ShardablePairSource]:
+        return self.classifier_factory(ods), self.source

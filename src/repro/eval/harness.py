@@ -93,6 +93,64 @@ def run_experiment(
     return metrics, result.compared_pairs
 
 
+@dataclass
+class BackendRun:
+    """One execution policy's outcome in a backend comparison."""
+
+    policy: ExecutionPolicy
+    metrics: PRResult
+    compared_pairs: int
+    #: Bit-identical to the first (reference) policy's DetectionResult.
+    identical: bool
+
+
+def compare_execution_backends(
+    dataset: Dataset,
+    policies: Sequence[ExecutionPolicy],
+    heuristic: Heuristic | None = None,
+    experiment: Experiment | None = None,
+    theta_tuple: float = 0.15,
+    theta_cand: float = 0.55,
+) -> list[BackendRun]:
+    """Run one sweep cell under several execution policies.
+
+    One session (one index) serves every policy; the first policy is
+    the reference and each subsequent run is checked for bit-identical
+    results (:meth:`~repro.framework.result.DetectionResult.identical_to`).
+    Backends (serial / process / shard) may only differ in wall-clock,
+    never in output — exercised by ``tests/test_shard_equivalence.py``.
+    ``benchmarks/bench_shard.py`` runs the same parity predicate but
+    deliberately over one *cold* session per policy, because warm
+    similar-value caches would mask the pair-generation cost it times.
+    """
+    session = session_for(
+        dataset,
+        heuristic or KClosestDescendants(6),
+        experiment or EXPERIMENTS[0],
+        theta_tuple=theta_tuple,
+        theta_cand=theta_cand,
+    )
+    gold = gold_pairs(session.ods)
+    runs: list[BackendRun] = []
+    reference = None
+    for policy in policies:
+        result = session.detect(policy=policy)
+        if reference is None:
+            reference = result
+            identical = True
+        else:
+            identical = result.identical_to(reference)
+        runs.append(
+            BackendRun(
+                policy=policy,
+                metrics=pair_metrics(result.duplicate_id_pairs(), gold),
+                compared_pairs=result.compared_pairs,
+                identical=identical,
+            )
+        )
+    return runs
+
+
 def run_heuristic_sweep(
     dataset: Dataset,
     heuristic_factory: Callable[[int], Heuristic],

@@ -44,18 +44,35 @@ class CandidateDefinition:
 
         Elements are returned in (document, document-order) sequence;
         their index in this list is the candidate's object id.
+
+        One element may match several xpaths; duplicates are dropped by
+        a *stable* identity — (document index, document-order ordinal)
+        — never by raw ``id(element)``, whose values depend on
+        interpreter object reuse and could alias a recycled address
+        across documents.  The ordinal map costs one tree traversal per
+        document (``id`` is only its transient lookup key, safe because
+        the tree keeps every node alive for the duration of the call).
+        Structurally identical elements of *different* documents stay
+        distinct candidates; listing the same document (or its tree)
+        twice contributes its candidates once.
         """
         if isinstance(documents, (Document, Element)):
             documents = [documents]
-        candidates: list[Element] = []
-        for document in documents:
-            for xpath in self._compiled:
-                candidates.extend(xpath.select(document))
-        # One element may match several xpaths; deduplicate by identity.
-        seen: set[int] = set()
+        seen: set[tuple[int, int]] = set()
+        seen_roots: set[int] = set()
         unique: list[Element] = []
-        for element in candidates:
-            if id(element) not in seen:
-                seen.add(id(element))
-                unique.append(element)
+        document_index = 0
+        for document in documents:
+            root = document.root if isinstance(document, Document) else document
+            if id(root) in seen_roots:  # same tree listed twice
+                continue
+            seen_roots.add(id(root))
+            ordinals = {id(node): n for n, node in enumerate(root.iter())}
+            for xpath in self._compiled:
+                for element in xpath.select(document):
+                    identity = (document_index, ordinals[id(element)])
+                    if identity not in seen:
+                        seen.add(identity)
+                        unique.append(element)
+            document_index += 1
         return unique

@@ -37,11 +37,12 @@ from .classifier import (
 from .clustering import duplicate_clusters
 from .description import DescriptionDefinition, generate_ods
 from .od import ObjectDescription
-from .pruning import NoPruning, ObjectFilterPruning, PairSource
+from .pruning import NoPruning, PairSource
 from .result import DetectionResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.executor import ClassifierFactory
+    from ..engine.sharder import ShardRuntimeFactory
 
 
 class DetectionPipeline:
@@ -70,6 +71,11 @@ class DetectionPipeline:
         classifier inside worker processes; without one the live
         classifier itself is shipped (or execution falls back to
         serial when it cannot be pickled).
+    shard_factory:
+        Picklable :class:`~repro.engine.sharder.ShardRuntimeFactory`
+        for the ``shard`` backend: workers rebuild classifier and pair
+        source together and enumerate their shards locally (step 4
+        moves into the workers).  Ignored by the other backends.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class DetectionPipeline:
         keep_possible: bool = True,
         policy: ExecutionPolicy | None = None,
         classifier_factory: ClassifierFactory | None = None,
+        shard_factory: "ShardRuntimeFactory | None" = None,
     ) -> None:
         self.candidate_definition = candidate_definition
         self.description_definition = description_definition
@@ -89,6 +96,7 @@ class DetectionPipeline:
         self.keep_possible = keep_possible
         self.policy = policy or ExecutionPolicy()
         self.classifier_factory = classifier_factory
+        self.shard_factory = shard_factory
 
     # ------------------------------------------------------------------
     def run(
@@ -102,9 +110,17 @@ class DetectionPipeline:
     def detect(self, ods: Sequence[ObjectDescription]) -> DetectionResult:
         """Execute steps 4–6 on pre-built ODs.
 
-        Step 4 (pair generation) runs in this process; step 5 runs
-        through the execution engine, so serial and process-parallel
-        execution share one batched code path.
+        Steps 4+5 run through the execution engine: under the serial
+        and process backends pair generation happens in this process
+        and only classification fans out; under the shard backend
+        workers enumerate and classify their shards locally.
+
+        Result pairs are ordered canonically by ``(left, right)`` id,
+        so a detection result depends only on the *set* of surviving
+        pairs — never on the enumeration order of the pair source or
+        the backend's concatenation order.  This is the invariant that
+        lets sharded (worker-side) generation stay bit-identical to
+        the serial path.
         """
         from ..engine.executor import ParallelClassifier
 
@@ -113,17 +129,18 @@ class DetectionPipeline:
             policy=self.policy,
             classifier_factory=self.classifier_factory,
             keep_possible=self.keep_possible,
+            shard_factory=self.shard_factory,
         )
         pairs, compared = engine.run(ods, self.pair_source)  # steps 4+5
+        pairs.sort(key=lambda pair: (pair.left, pair.right))
         duplicate_ids = [
             (pair.left, pair.right) for pair in pairs if pair.label == DUPLICATES
         ]
         clusters = duplicate_clusters(duplicate_ids, [od.object_id for od in ods])  # step 6
-        pruned = (
-            list(self.pair_source.pruned_ids)
-            if isinstance(self.pair_source, ObjectFilterPruning)
-            else []
-        )
+        # Any source may report filter-pruned objects (ObjectFilterPruning
+        # fills this during enumeration; ShardedPairSource carries the
+        # parent-side filter decisions).
+        pruned = list(getattr(self.pair_source, "pruned_ids", ()))
         return DetectionResult(
             real_world_type=self.candidate_definition.real_world_type,
             ods=ods,

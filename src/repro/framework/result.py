@@ -60,6 +60,24 @@ class DetectionResult:
             for p in self.duplicate_pairs
         }
 
+    def identical_to(self, other: "DetectionResult") -> bool:
+        """Bit-identical contents: the execution-backend parity notion.
+
+        The single definition every parity check (engine tests, the
+        backend-comparison harness, the benchmarks) must share: same
+        ``ScoredPair`` list — order, ids, scores, labels — same
+        clusters, same dupcluster XML, same comparison count, same
+        pruned ids.  Backends, worker counts, and shard strategies may
+        only differ in wall-clock, never in any of these.
+        """
+        return (
+            self.pairs == other.pairs
+            and self.clusters == other.clusters
+            and self.to_xml() == other.to_xml()
+            and self.compared_pairs == other.compared_pairs
+            and self.pruned_object_ids == other.pruned_object_ids
+        )
+
     def object_path(self, object_id: int) -> str:
         element = self.ods[object_id].element
         if element is None:

@@ -115,6 +115,36 @@ class TestRoundTrip:
         )
         assert spec.execution_policy() == ExecutionPolicy.for_workers(4, 256)
 
+    def test_shard_backend_round_trips(self):
+        spec = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            workers=4, backend="shard", shard_by="object",
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.execution_policy() == ExecutionPolicy(
+            workers=4, batch_size=256, backend="shard", shard_by="object"
+        )
+
+    def test_explicit_shard_by_implies_shard_backend(self):
+        """shard_by without a backend selects shard (CLI parity) rather
+        than silently demoting to parent-side process enumeration."""
+        spec = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            workers=4, shard_by="object",
+        )
+        policy = spec.execution_policy()
+        assert policy.backend == "shard"
+        assert policy.shard_by == "object"
+        assert policy.workers == 4
+
+    def test_unknown_shard_by_rejected(self):
+        with pytest.raises(ValueError, match="shard_by"):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                shard_by="rows",
+            )
+
     def test_unknown_json_keys_rejected(self):
         payload = json.loads(full_spec().to_json())
         payload["typo_field"] = 1

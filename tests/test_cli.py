@@ -161,6 +161,56 @@ class TestSpecWorkflow:
         result = parse(capsys.readouterr().out)
         assert result.root.find_all("dupcluster") == []
 
+    def test_shard_by_selects_the_shard_backend(self, spec_dir, capsys):
+        """--shard-by moves pair generation into the workers with the
+        same dupcluster output as the serial spec run."""
+        serial = main(["dedup", "--spec", str(spec_dir / "run.json")])
+        assert serial == 0
+        serial_out = capsys.readouterr().out
+        code = main([
+            "dedup", "--spec", str(spec_dir / "run.json"),
+            "--workers", "2",
+            "--shard-by", "block",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_workers_keeps_spec_declared_shard_backend(self, spec_dir, capsys):
+        """--workers re-derives serial/process backends from the count
+        but must not silently demote a spec-declared shard backend to
+        parent-side enumeration."""
+        import json
+
+        from repro.cli import _spec_from_args
+
+        spec_path = spec_dir / "run.json"
+        data = json.loads(spec_path.read_text())
+        data["backend"] = "shard"
+        spec_path.write_text(json.dumps(data))
+        parser = build_parser()
+        args = parser.parse_args(
+            ["dedup", "--spec", str(spec_path), "--workers", "4"]
+        )
+        spec = _spec_from_args(args, parser)
+        assert spec.backend == "shard"
+        assert spec.workers == 4
+        # ...while a process spec still re-derives from the count:
+        data["backend"] = "process"
+        spec_path.write_text(json.dumps(data))
+        args = parser.parse_args(
+            ["dedup", "--spec", str(spec_path), "--workers", "1"]
+        )
+        assert _spec_from_args(args, parser).backend is None
+
+    def test_shard_by_rejects_unknown_mode(self, spec_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "dedup", "--spec", str(spec_dir / "run.json"),
+                "--shard-by", "rows",
+            ])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
     def test_spec_conflicts_with_documents(self, spec_dir, example_files, capsys):
         document, _, _ = example_files
         with pytest.raises(SystemExit) as excinfo:

@@ -83,6 +83,20 @@ class TestExecutionPolicy:
     def test_single_process_worker_is_not_parallel(self):
         assert not ExecutionPolicy(workers=1, backend="process").parallel
 
+    def test_shard_backend(self):
+        policy = ExecutionPolicy.sharded(3, batch_size=64, shard_by="object")
+        assert policy.backend == "shard"
+        assert policy.workers == 3 and policy.batch_size == 64
+        assert policy.shard_by == "object"
+        assert policy.parallel
+        assert policy.shard_count() >= policy.workers
+        assert not ExecutionPolicy.sharded(1).parallel
+        assert ExecutionPolicy.sharded(0).workers >= 1
+
+    def test_shard_by_validated(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(backend="shard", shard_by="rows")
+
 
 # ----------------------------------------------------------------------
 # PairBatcher
@@ -271,6 +285,43 @@ class TestGenericPipelineParallel:
             classifier,
             policy=ExecutionPolicy(workers=2, backend="process"),
             classifier_factory=ConstantClassifierFactory(classifier),
+        )
+        pairs, compared = engine.run(ods, NoPruning())
+        assert engine.last_backend == "process"
+        assert compared == 1
+        assert [(p.left, p.right) for p in pairs] == [(0, 1)]
+
+    def test_shardable_source_ships_to_workers(self):
+        """A picklable shardable source runs worker-side without an
+        explicit shard runtime factory (assembled on the fly)."""
+        from repro.engine import ShardedPairSource
+
+        ods = [
+            od_from_pairs(i, [("x", f"/r/a[{i + 1}]/v[1]")]) for i in range(6)
+        ]
+        serial_pairs, serial_compared = ParallelClassifier(
+            MatchingTuplesClassifier()
+        ).run(ods, NoPruning())
+        engine = ParallelClassifier(
+            MatchingTuplesClassifier(),
+            policy=ExecutionPolicy.sharded(2, batch_size=4),
+        )
+        pairs, compared = engine.run(ods, ShardedPairSource(8))
+        assert engine.last_backend == "shard"
+        assert compared == serial_compared == 15
+        assert sorted((p.left, p.right) for p in pairs) == sorted(
+            (p.left, p.right) for p in serial_pairs
+        )
+
+    def test_shard_policy_without_shardable_source_degrades(self):
+        """shard backend + plain pair source -> parent-side process run."""
+        ods = [
+            od_from_pairs(0, [("x", "/r/a[1]/v[1]")]),
+            od_from_pairs(1, [("x", "/r/a[2]/v[1]")]),
+        ]
+        engine = ParallelClassifier(
+            MatchingTuplesClassifier(),
+            policy=ExecutionPolicy.sharded(2),
         )
         pairs, compared = engine.run(ods, NoPruning())
         assert engine.last_backend == "process"

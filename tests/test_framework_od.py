@@ -74,6 +74,33 @@ class TestCandidateDefinition:
         )
         assert len(definition.select(movie_doc)) == 3
 
+    def test_dedup_identity_is_stable_not_interpreter_dependent(self):
+        """Selection dedups by (document index, absolute path), never by
+        id(element): structurally identical elements from *different*
+        documents must all survive, while the same element matched via
+        several xpaths collapses to one candidate."""
+        doc_a = parse("<db><item><a>x</a></item><item><a>y</a></item></db>")
+        doc_b = parse("<db><item><a>x</a></item><item><a>y</a></item></db>")
+        definition = CandidateDefinition("T", ("/db/item", "//item"))
+        selected = definition.select([doc_a, doc_b])
+        # 2 items per document; the overlapping xpaths add nothing.
+        assert len(selected) == 4
+        # Same-document paths repeat across documents -> the stable key
+        # must include the document index to keep them apart.
+        paths = [element.absolute_path() for element in selected]
+        assert sorted(set(paths)) == sorted(paths[:2])
+        # Document order is preserved, documents in input order.
+        assert [element.find("a").text for element in selected] == [
+            "x", "y", "x", "y",
+        ]
+        # The same document listed twice contributes its candidates
+        # once (matching the historic id-based dedup), and wrapping the
+        # same tree in another Document changes nothing.
+        assert len(definition.select([doc_a, doc_a])) == 2
+        from repro.xmlkit import Document
+        rewrapped = Document(doc_a.root)
+        assert len(definition.select([doc_a, rewrapped])) == 2
+
     def test_from_mapping(self, movie_mapping):
         definition = CandidateDefinition.from_mapping(movie_mapping, "MOVIE")
         assert definition.xpaths == ("/moviedoc/movie",)

@@ -18,6 +18,7 @@ from repro.strings import (
     jaro,
     jaro_winkler,
     normalized_edit_distance,
+    qgrams,
     within_normalized,
 )
 from repro.xmlkit import Element, parse, serialize
@@ -96,6 +97,115 @@ class TestJaroProperties:
     @given(short_text, short_text)
     def test_winkler_dominates_jaro(self, a, b):
         assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Metamorphic string-similarity properties on random unicode
+# ----------------------------------------------------------------------
+# Sharded execution may evaluate a similarity in either operand order
+# (worker-local enumeration decides which object is "left"), so any
+# asymmetry or order dependence in the string measures could silently
+# break serial equivalence.  These properties pin symmetry, identity,
+# and triangle-style bounds over the full unicode range — not just the
+# ASCII alphabets above.
+unicode_text = st.text(max_size=14)
+
+
+class TestUnicodeLevenshteinMetamorphic:
+    @given(unicode_text, unicode_text)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+        assert normalized_edit_distance(a, b) == normalized_edit_distance(b, a)
+
+    @given(unicode_text)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+        assert normalized_edit_distance(a, a) == 0.0
+
+    @given(unicode_text, unicode_text)
+    def test_normalized_range(self, a, b):
+        assert 0.0 <= normalized_edit_distance(a, b) <= 1.0
+
+    @given(unicode_text, unicode_text, unicode_text)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(unicode_text, unicode_text, unicode_text)
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_triangle_bound(self, a, b, c):
+        """ned is not a metric, but the underlying distances still obey
+        the triangle inequality when de-normalized."""
+        def denormalized(x, y):
+            return normalized_edit_distance(x, y) * max(len(x), len(y))
+
+        assert denormalized(a, c) <= denormalized(a, b) + denormalized(b, c) + 1e-9
+
+    @given(
+        unicode_text,
+        unicode_text,
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_within_normalized_symmetric(self, a, b, threshold):
+        assert within_normalized(a, b, threshold) == within_normalized(
+            b, a, threshold
+        )
+
+
+class TestUnicodeJaroMetamorphic:
+    @given(unicode_text, unicode_text)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        assert jaro(a, b) == jaro(b, a)
+        assert jaro_winkler(a, b) == jaro_winkler(b, a)
+
+    @given(unicode_text)
+    def test_identity_and_range(self, a):
+        if a:
+            assert jaro(a, a) == 1.0
+        assert 0.0 <= jaro_winkler(a, a) <= 1.0
+
+    @given(unicode_text, unicode_text)
+    @settings(max_examples=50, deadline=None)
+    def test_range_and_winkler_dominance(self, a, b):
+        score = jaro(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score - 1e-12 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestUnicodeQGramMetamorphic:
+    @given(unicode_text)
+    def test_gram_count_and_reconstruction(self, a):
+        grams = qgrams(a, q=2)
+        assert len(grams) == len(a) + 1
+        # adjacent grams overlap by q-1 characters
+        for first, second in zip(grams, grams[1:]):
+            assert first[1:] == second[:1]
+
+    @given(st.lists(unicode_text, min_size=1, max_size=12),
+           st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_index_completeness_on_unicode(self, values, threshold):
+        """Count filtering stays sound outside ASCII: the index search
+        equals brute force for any unicode value set."""
+        index = QGramIndex(q=2)
+        for value in values:
+            index.add(value)
+        query = values[0]
+        expected = {
+            value
+            for value in set(values)
+            if normalized_edit_distance(query, value) < threshold
+        }
+        assert set(index.search(query, threshold)) == expected
+
+    @given(unicode_text)
+    def test_identity_always_found(self, a):
+        index = QGramIndex(q=2)
+        index.add(a)
+        assert a in index.search(a, 0.5)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,310 @@
+"""Randomized serial-equivalence fuzz harness for sharded generation.
+
+The shard backend's contract extends PR 1's invariant from step 5 to
+steps 4+5: for any corpus, any blocking structure, any shard count, and
+any sharding strategy, worker-side pair generation must produce
+
+* exactly the candidate-pair **set** the parent-side blocking produces
+  (each pair owned by exactly one shard), and
+* a bit-identical ``DetectionResult`` — same ``ScoredPair`` list, same
+  clusters, same dupcluster XML, same comparison count, same pruned
+  ids — as the serial backend.
+
+These tests pin that on seeded-random corpora sweeping object counts,
+duplicate rates, and pathological block-size distributions: one giant
+block, all-singleton blocks, objects with empty descriptions, and
+zipf-skewed blocks.  Two fixed seeds keep the sweep deterministic (the
+CI shard-matrix job runs exactly this file); crank ``EXTRA_SEEDS`` up
+locally for a longer fuzz.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import DetectionSession
+from repro.core import CorpusIndex, DogmatixConfig
+from repro.engine import ExecutionPolicy, ShardedPairSource
+from repro.framework import (
+    NoPruning,
+    SharedTupleBlocking,
+    TypeMapping,
+    od_from_pairs,
+)
+
+SEEDS = (101, 202)
+
+#: Corpus shapes the generator can produce (block-size pathologies).
+SHAPES = ("uniform", "giant", "singleton", "empty", "skewed", "dupes")
+
+KINDS = ("title", "artist", "year")
+
+
+def random_corpus(seed: int, shape: str, count: int = 36):
+    """A seeded-random OD instance with a controlled block structure."""
+    rng = random.Random(f"{seed}:{shape}")
+    alphabet = "abcdefgh"
+
+    def word(length: int = 8) -> str:
+        return "".join(rng.choice(alphabet) for _ in range(length))
+
+    def typo(value: str) -> str:
+        index = rng.randrange(len(value))
+        return value[:index] + rng.choice(alphabet) + value[index + 1 :]
+
+    pool = {kind: [word() for _ in range(max(3, count // 3))] for kind in KINDS}
+    records: list[dict[str, str]] = []
+    for i in range(count):
+        if shape == "dupes" and records and rng.random() < 0.5:
+            # near-duplicate of an earlier record: one value typo'd
+            base = dict(rng.choice(records))
+            victim = rng.choice(sorted(base))
+            base[victim] = typo(base[victim])
+            records.append(base)
+            continue
+        record: dict[str, str] = {}
+        for kind in KINDS:
+            if rng.random() < 0.15:  # missing data
+                continue
+            if shape == "singleton":
+                record[kind] = f"{word()}-{i}-{kind}"  # unique everywhere
+            elif shape == "skewed":
+                values = pool[kind]
+                # zipf-ish choice: low ranks vastly more popular
+                rank = min(int(rng.paretovariate(1.0)) - 1, len(values) - 1)
+                record[kind] = values[rank]
+            else:
+                record[kind] = rng.choice(pool[kind])
+        if shape == "empty" and rng.random() < 0.3:
+            record = {}  # object with an empty description
+        if shape == "giant":
+            record["genre"] = "common"  # every object shares one block
+        records.append(record)
+
+    ods = []
+    for i, record in enumerate(records):
+        pairs = [
+            (value, f"/db/item[{i + 1}]/{kind}[1]")
+            for kind, value in sorted(record.items())
+        ]
+        ods.append(od_from_pairs(i, pairs))
+    return ods
+
+
+def session_over(ods, **config_kwargs) -> DetectionSession:
+    config = DogmatixConfig(theta_tuple=0.25, **config_kwargs)
+    mapping = TypeMapping().add("ITEM", "/db/item")
+    return DetectionSession.from_ods(ods, mapping, "ITEM", config)
+
+
+def assert_results_identical(reference, other):
+    # Field-by-field asserts for readable failure diffs, then the
+    # shared parity predicate so this stays in lockstep with its
+    # definition on DetectionResult.
+    assert other.pairs == reference.pairs  # order, ids, scores, labels
+    assert other.clusters == reference.clusters
+    assert other.to_xml() == reference.to_xml()
+    assert other.compared_pairs == reference.compared_pairs
+    assert other.pruned_object_ids == reference.pruned_object_ids
+    assert other.identical_to(reference)
+
+
+# ----------------------------------------------------------------------
+# Step 4 alone: sharded enumeration vs parent-side blocking
+# ----------------------------------------------------------------------
+class TestShardedPairSets:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("shard_count", (1, 2, 3, 7, 16))
+    def test_block_mode_matches_shared_tuple_blocking(
+        self, seed, shape, shard_count
+    ):
+        """Same pair set as SharedTupleBlocking, each pair exactly once."""
+        ods = random_corpus(seed, shape)
+        index = CorpusIndex(ods, TypeMapping(), theta_tuple=0.25)
+        reference = set(SharedTupleBlocking(index.block_keys).pairs(ods))
+        sharded = ShardedPairSource(shard_count, block_index=index)
+        emitted = list(sharded.pairs(ods))
+        assert len(emitted) == len(set(emitted))  # exactly-once ownership
+        assert set(emitted) == reference
+
+    @pytest.mark.parametrize("shard_count", (1, 2, 5))
+    def test_similar_only_pairs_use_the_residual_rule(self, shard_count):
+        """A pair related through similar-but-unequal values has no
+        direct common term, so ownership falls back to the minimal
+        expanded block key — still exactly once, on any shard count."""
+        ods = [
+            od_from_pairs(0, [("abcdefgh", "/db/item[1]/title[1]")]),
+            od_from_pairs(1, [("abcdefgx", "/db/item[2]/title[1]")]),
+            od_from_pairs(2, [("zzzzzzzz", "/db/item[3]/title[1]")]),
+        ]
+        index = CorpusIndex(ods, TypeMapping(), theta_tuple=0.25)
+        reference = set(SharedTupleBlocking(index.block_keys).pairs(ods))
+        assert reference == {(0, 1)}  # blocked via similarity alone
+        sharded = ShardedPairSource(shard_count, block_index=index)
+        assert list(sharded.pairs(ods)) == [(0, 1)]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shape", ("giant", "skewed"))
+    def test_object_mode_matches_and_balances(self, seed, shape):
+        """Pair-hash ownership: same set, spread across shards even when
+        one giant block dominates."""
+        ods = random_corpus(seed, shape)
+        index = CorpusIndex(ods, TypeMapping(), theta_tuple=0.25)
+        reference = set(SharedTupleBlocking(index.block_keys).pairs(ods))
+        shard_count = 4
+        sharded = ShardedPairSource(
+            shard_count, block_index=index, shard_by="object"
+        )
+        per_shard = [
+            list(sharded.shard_pairs(ods, shard)) for shard in range(shard_count)
+        ]
+        emitted = [pair for shard in per_shard for pair in shard]
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == reference
+        if len(reference) >= 2 * shard_count:
+            # a giant block must not collapse onto one shard
+            assert sum(1 for shard in per_shard if shard) >= 2
+
+    @pytest.mark.parametrize("shard_count", (1, 2, 5))
+    @pytest.mark.parametrize("shard_by", ("block", "object"))
+    def test_all_pairs_mode_matches_no_pruning(self, shard_count, shard_by):
+        ods = random_corpus(SEEDS[0], "uniform", count=20)
+        reference = set(NoPruning().pairs(ods))
+        sharded = ShardedPairSource(shard_count, shard_by=shard_by)
+        emitted = list(sharded.pairs(ods))
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == reference
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shards_are_disjoint_and_exhaustive(self, seed):
+        ods = random_corpus(seed, "uniform")
+        index = CorpusIndex(ods, TypeMapping(), theta_tuple=0.25)
+        sharded = ShardedPairSource(5, block_index=index)
+        per_shard = [set(sharded.shard_pairs(ods, shard)) for shard in range(5)]
+        union: set = set()
+        for shard_pairs in per_shard:
+            assert not (union & shard_pairs)
+            union |= shard_pairs
+        assert union == set(sharded.pairs(ods))
+
+    def test_kept_ids_restrict_enumeration(self):
+        ods = random_corpus(SEEDS[0], "uniform", count=12)
+        kept = frozenset(od.object_id for od in ods[:6])
+        sharded = ShardedPairSource(3, kept_ids=kept, pruned_ids=[97])
+        emitted = set(sharded.pairs(ods))
+        assert emitted == {
+            (a, b) for a in range(6) for b in range(a + 1, 6)
+        }
+        assert sharded.pruned_ids == [97]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedPairSource(0)
+        with pytest.raises(ValueError):
+            ShardedPairSource(2, shard_by="rows")
+        sharded = ShardedPairSource(2)
+        with pytest.raises(ValueError):
+            list(sharded.shard_pairs([], 2))
+
+
+# ----------------------------------------------------------------------
+# Steps 4+5+6: bit-identical DetectionResults across backends
+# ----------------------------------------------------------------------
+SHARD_POLICIES = (
+    ExecutionPolicy.sharded(2),  # worker-side generation, block hashing
+    ExecutionPolicy.sharded(2, shard_by="object"),  # pair-hash ownership
+    ExecutionPolicy.sharded(1),  # degenerate: sharded source, serial loop
+    ExecutionPolicy(workers=2, batch_size=32, backend="process"),  # PR 1 path
+)
+
+
+class TestShardBackendEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_fuzzed_corpora(self, seed, shape):
+        """The tentpole invariant: serial == shard on random corpora."""
+        ods = random_corpus(seed, shape)
+        session = session_over(ods)
+        reference = session.detect()  # serial
+        for policy in SHARD_POLICIES:
+            assert_results_identical(reference, session.detect(policy=policy))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_without_object_filter(self, seed):
+        ods = random_corpus(seed, "dupes")
+        session = session_over(ods, use_object_filter=False)
+        reference = session.detect()
+        assert reference.duplicate_pairs  # the shape actually produces work
+        for policy in SHARD_POLICIES[:2]:
+            assert_results_identical(reference, session.detect(policy=policy))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_without_blocking_all_pairs(self, seed):
+        """use_blocking=False: row/pair sharding of the quadratic loop."""
+        ods = random_corpus(seed, "uniform", count=24)
+        session = session_over(ods, use_blocking=False)
+        reference = session.detect()
+        for policy in SHARD_POLICIES[:2]:
+            assert_results_identical(reference, session.detect(policy=policy))
+
+    def test_possible_band_survives_sharding(self):
+        ods = random_corpus(SEEDS[0], "dupes")
+        session = session_over(ods, possible_threshold=0.2)
+        reference = session.detect()
+        assert reference.possible_pairs  # C2 band exercised
+        assert_results_identical(
+            reference, session.detect(policy=SHARD_POLICIES[0])
+        )
+
+    @pytest.mark.parametrize("workers", (2, 3))
+    def test_shard_count_sweep(self, workers):
+        """Results are invariant under the worker (and thus shard) count."""
+        ods = random_corpus(SEEDS[1], "skewed")
+        session = session_over(ods)
+        reference = session.detect()
+        assert_results_identical(
+            reference,
+            session.detect(policy=ExecutionPolicy.sharded(workers)),
+        )
+
+    def test_backend_comparison_harness(self):
+        """eval.harness.compare_execution_backends flags parity across
+        serial, process, and shard on a generator dataset."""
+        from repro.eval import build_dataset1
+        from repro.eval.harness import compare_execution_backends
+
+        dataset = build_dataset1(base_count=15, seed=7)
+        runs = compare_execution_backends(
+            dataset,
+            [
+                ExecutionPolicy(),
+                ExecutionPolicy.for_workers(2),
+                ExecutionPolicy.sharded(2),
+            ],
+        )
+        assert [run.policy.backend for run in runs] == [
+            "serial", "process", "shard",
+        ]
+        assert all(run.identical for run in runs)
+        assert len({run.compared_pairs for run in runs}) == 1
+
+    @pytest.mark.slow
+    def test_dirty_dataset_end_to_end(self):
+        """Realistic generator corpus (XML, schemas, gold) through shard."""
+        from repro.api import Corpus
+        from repro.eval import build_dataset1
+
+        dataset = build_dataset1(base_count=30, seed=7)
+        session = DetectionSession(
+            Corpus(dataset.sources),
+            dataset.mapping,
+            dataset.real_world_type,
+            DogmatixConfig(),
+        )
+        reference = session.detect()
+        assert reference.duplicate_pairs
+        for policy in SHARD_POLICIES:
+            assert_results_identical(reference, session.detect(policy=policy))
