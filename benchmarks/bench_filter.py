@@ -1,0 +1,249 @@
+"""Worker-sharded object filter: parity check + step-4 speedup report.
+
+The object filter f(OD_i) is a per-object pass, but its similar-value
+searches dominate step 4 at n >= 2000 — and until PR 4 they ran
+serially in the parent under *every* backend, capping what the shard
+backend could win end to end.  This benchmark pins what moving the
+filter into the workers (``ExecutionPolicy.filter_in_workers``) buys:
+the same Dataset 3 corpus runs ``detect()`` with the filter **enabled**
+under
+
+* ``serial``        — the reference result and baseline wall-clock,
+* ``shard/parent``  — sharded pair generation, filter still a serial
+  parent-side pass (the PR 3 state),
+* ``shard/workers`` — filter evaluation sharded across the workers and
+  merged back in candidate order,
+
+verifies every mode returns bit-identical results — including
+``pruned_object_ids`` order — and reports speedups.  The headline
+number is workers-vs-parent: >= 1 means worker-side filtering is no
+slower than the parent-side pass it replaces (it should be faster:
+each worker performs ~1/workers of the filter searches, which also
+warm its caches for enumeration).
+
+Standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_filter.py --smoke
+    PYTHONPATH=src python benchmarks/bench_filter.py --workers 4
+
+or through pytest like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_filter.py -q
+
+Scale via ``REPRO_D3_COUNT`` (default 2000; paper scale 10000).  The
+workers>=parent assertion only fires when the machine has >= 4 CPU
+cores; parity is asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import Corpus, DetectionSession
+from repro.core import KClosestDescendants
+from repro.engine import ExecutionPolicy
+from repro.eval import EXPERIMENTS, build_dataset3
+from repro.strings.levenshtein import _ned_ordered
+
+MIN_CORES = 4
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def policies_for(workers: int, batch_size: int) -> list[tuple[str, ExecutionPolicy]]:
+    return [
+        ("serial", ExecutionPolicy(batch_size=batch_size)),
+        ("shard/parent", ExecutionPolicy.sharded(workers, batch_size)),
+        (
+            "shard/workers",
+            ExecutionPolicy.sharded(
+                workers, batch_size, filter_in_workers=True
+            ),
+        ),
+    ]
+
+
+def run_filter_bench(
+    count: int,
+    seed: int = 11,
+    workers: int = 4,
+    batch_size: int = 512,
+) -> dict:
+    """One cold session per mode, one detect() each; parity + timing.
+
+    A fresh session per policy keeps the comparison honest: the filter
+    pass fills the parent index's similar-value caches, so reusing one
+    session would hand every mode after the first a warm parent —
+    exactly the cost worker-side filtering exists to move off the
+    parent.  Unlike ``bench_shard`` this workload runs **with** the
+    object filter: the serial filter pass is the cost under test.
+    """
+    dataset = build_dataset3(count, seed)
+    config = EXPERIMENTS[0].config(
+        KClosestDescendants(6), use_object_filter=True
+    )
+    corpus = Corpus(dataset.sources)
+    ods = corpus.generate_ods(dataset.mapping, dataset.real_world_type, config)
+
+    rows = []
+    reference = None
+    reference_decisions = None
+    for name, policy in policies_for(workers, batch_size):
+        session = DetectionSession.from_ods(
+            ods, dataset.mapping, dataset.real_world_type, config
+        )
+        # The global edit-distance memo survives across runs in this
+        # parent process; clear it so no mode rides the previous mode's
+        # warm strings.
+        _ned_ordered.cache_clear()
+        started = time.perf_counter()
+        result = session.detect(policy=policy)
+        elapsed = time.perf_counter() - started
+        decisions = tuple(session.object_filter.decisions)
+        if reference is None:
+            reference = result
+            reference_decisions = decisions
+            identical = True
+        else:
+            identical = (
+                result.identical_to(reference)
+                and decisions == reference_decisions
+            )
+        rows.append(
+            {
+                "name": name,
+                "workers": policy.workers,
+                "filter_in_workers": policy.filter_in_workers,
+                "seconds": elapsed,
+                "identical": identical,
+            }
+        )
+    serial_seconds = rows[0]["seconds"]
+    for row in rows:
+        row["speedup"] = serial_seconds / row["seconds"] if row["seconds"] else 0.0
+    parent_seconds = next(
+        r["seconds"] for r in rows if r["name"] == "shard/parent"
+    )
+    worker_seconds = next(
+        r["seconds"] for r in rows if r["name"] == "shard/workers"
+    )
+    return {
+        "ods": len(ods),
+        "compared": reference.compared_pairs,
+        "duplicates": len(reference.duplicate_pairs),
+        "pruned": len(reference.pruned_object_ids),
+        "workers": workers,
+        "rows": rows,
+        "workers_vs_parent": (
+            parent_seconds / worker_seconds if worker_seconds else 0.0
+        ),
+    }
+
+
+def format_table(bench: dict) -> str:
+    lines = [
+        f"{bench['ods']} ODs, {bench['compared']} comparisons, "
+        f"{bench['duplicates']} duplicate pairs, {bench['pruned']} objects "
+        f"pruned (workers: {bench['workers']}, host cores: {os.cpu_count()})",
+        f"{'mode':>14} {'workers':>8} {'seconds':>9} {'vs serial':>10} {'parity':>7}",
+    ]
+    for row in bench["rows"]:
+        lines.append(
+            f"{row['name']:>14} {row['workers']:>8} "
+            f"{row['seconds']:>9.2f} {row['speedup']:>9.2f}x "
+            f"{'ok' if row['identical'] else 'FAIL':>7}"
+        )
+    lines.append(
+        f"worker-side filter vs parent-side pass: "
+        f"{bench['workers_vs_parent']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def check(bench: dict, require_speedup: bool) -> None:
+    """Parity always; the workers>=parent win only where cores allow."""
+    for row in bench["rows"]:
+        assert row["identical"], (
+            f"{row['name']} run diverged from the serial result"
+        )
+    assert bench["duplicates"] > 0, "benchmark corpus produced no duplicates"
+    assert bench["pruned"] > 0, (
+        "benchmark corpus exercised no filter pruning; the filter pass "
+        "under test would be trivial"
+    )
+    cores = os.cpu_count() or 1
+    if require_speedup and cores >= MIN_CORES:
+        assert bench["workers_vs_parent"] >= 1.0, (
+            f"expected worker-side filtering to be no slower than the "
+            f"parent-side pass on a {cores}-core host, measured "
+            f"{bench['workers_vs_parent']:.2f}x"
+        )
+    elif require_speedup:
+        print(
+            f"note: only {cores} core(s) available; skipping the "
+            f"workers>=parent assertion "
+            f"(measured {bench['workers_vs_parent']:.2f}x)"
+        )
+
+
+def test_filter_sharding(report):
+    """Pytest entry point, consistent with the other bench files."""
+    count = scale("REPRO_D3_COUNT", 2000)
+    bench = run_filter_bench(count)
+    report(
+        f"Worker-sharded object filter: speedup & parity on Dataset 3 "
+        f"(n={count})",
+        format_table(bench),
+    )
+    check(bench, require_speedup=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, parity check only (for CI)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="Dataset 3 size (default: REPRO_D3_COUNT or 2000; smoke: 300)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the sharded modes (default: 4; smoke: 2)",
+    )
+    parser.add_argument("--batch-size", type=int, default=512)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        count = args.count or 300
+        workers = args.workers or 2
+    else:
+        count = args.count or scale("REPRO_D3_COUNT", 2000)
+        workers = args.workers or 4
+
+    bench = run_filter_bench(count, workers=workers, batch_size=args.batch_size)
+    print(format_table(bench))
+    check(bench, require_speedup=not args.smoke)
+    print("parity ok across all filter placements")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

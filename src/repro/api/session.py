@@ -158,6 +158,7 @@ class DetectionSession:
         self._incremental: Optional[IncrementalDeduplicator] = None
         # Externally supplied ODs need not be numbered 0..n-1.
         self._next_id = max(self._by_id, default=-1) + 1
+        self._last_foreign_id = 0
         self._last_filter: Optional[ObjectFilter] = None
 
     @classmethod
@@ -277,6 +278,14 @@ class DetectionSession:
             shard_factory=shard_factory,
         )
         result = pipeline.detect(self._ods)
+        if object_filter is not None and pair_source is not None:
+            # Worker-side filter evaluation: the engine merged the
+            # per-shard decisions (candidate order) onto the pair
+            # source; adopt them so this run's ObjectFilter exposes the
+            # same decisions/pruned_count as a parent-side pass.
+            decisions = getattr(pair_source, "filter_decisions", ())
+            if decisions:
+                object_filter.adopt(decisions)
         self._last_filter = object_filter
         return result
 
@@ -285,24 +294,44 @@ class DetectionSession:
     ) -> tuple[ShardedPairSource, Optional[ObjectFilter], DogmatixShardFactory]:
         """Step-4 setup for the ``shard`` backend.
 
-        The object filter (a linear per-object pass whose pruned ids
-        the result must report anyway) runs here in the parent, in
-        candidate order — exactly like the lazy serial
-        ``ObjectFilterPruning`` evaluation; the quadratic pair
-        enumeration ships to the workers as a
-        :class:`DogmatixShardFactory`.  The returned parent-side
-        :class:`ShardedPairSource` serves as the serial fallback
-        (``workers=1``) and carries the pruned ids.
+        Two placements for the object filter, selected by
+        ``policy.filter_in_workers``:
+
+        * **parent-side** (default): the per-object pass runs here, in
+          candidate order — exactly like the lazy serial
+          ``ObjectFilterPruning`` evaluation — and the surviving ids
+          ship to the workers, which only enumerate;
+        * **worker-side**: nothing filter-related runs here.  The
+          :class:`DogmatixShardFactory` carries ``filter_theta``, the
+          engine runs a filter phase across the pool (each worker
+          decides its own filter shards), merges the decisions back
+          into candidate order, and installs them on the parent-side
+          pair source; :meth:`detect` then adopts them into this run's
+          :class:`ObjectFilter` so introspection is placement-agnostic.
+          The parent-side source also holds ``object_filter.decide``
+          for the no-pool fallback (``workers=1`` — the same pass,
+          evaluated lazily in the parent).
+
+        Either way the quadratic pair enumeration ships to the workers
+        and results stay bit-identical.
         """
         object_filter = None
         kept_ids: Optional[frozenset[int]] = None
         pruned: list[int] = []
+        decider = None
+        worker_filter = False
         if self.config.use_object_filter:
             object_filter = ObjectFilter(self._index, theta)
-            kept: list[int] = []
-            for od in self._ods:
-                (kept if object_filter.keep(od) else pruned).append(od.object_id)
-            kept_ids = frozenset(kept)
+            if policy.filter_in_workers:
+                worker_filter = True
+                decider = object_filter.decide
+            else:
+                kept: list[int] = []
+                for od in self._ods:
+                    (kept if object_filter.keep(od) else pruned).append(
+                        od.object_id
+                    )
+                kept_ids = frozenset(kept)
         shard_count = policy.shard_count()
         pair_source = ShardedPairSource(
             shard_count,
@@ -310,6 +339,7 @@ class DetectionSession:
             shard_by=policy.shard_by,
             kept_ids=kept_ids,
             pruned_ids=pruned,
+            object_filter=decider,
         )
         shard_factory = DogmatixShardFactory(
             mapping=self.mapping,
@@ -321,6 +351,7 @@ class DetectionSession:
             shard_by=policy.shard_by,
             use_blocking=self.config.use_blocking,
             kept_ids=kept_ids,
+            filter_theta=theta if worker_filter else None,
         )
         return pair_source, object_filter, shard_factory
 
@@ -420,6 +451,23 @@ class DetectionSession:
             "an ObjectDescription, or an XML element"
         )
 
+    def _foreign_object_id(self) -> int:
+        """A fresh sentinel id strictly outside the corpus id space.
+
+        Foreign ODs must never share an id with an indexed object:
+        :class:`~repro.core.object_filter.ObjectFilter` and the index
+        searches exclude ``od.object_id`` as "the object itself", so a
+        colliding id would silently drop a *real* corpus object's
+        evidence (e.g. the foreign element's one duplicate) from the
+        shared-information search.  Each call returns a *new* id —
+        per-id memos (``ObjectFilter.decide``) must never conflate two
+        different foreign elements either.
+        """
+        self._last_foreign_id = (
+            min(self._last_foreign_id, min(self._by_id, default=0)) - 1
+        )
+        return self._last_foreign_id
+
     def _describe_element(self, element: Element) -> ObjectDescription:
         """OD for a foreign element of the candidate type."""
         generic = strip_positions(element.absolute_path())
@@ -434,7 +482,7 @@ class DetectionSession:
                 description = self.config.selector.description_definition(
                     declaration, include_empty=self.config.include_empty
                 )
-                return description.generate_od(-1, element)
+                return description.generate_od(self._foreign_object_id(), element)
         raise ValueError(
             f"no corpus schema declares {generic!r}; add a source with "
             "that structure first"

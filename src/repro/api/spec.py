@@ -48,12 +48,15 @@ class RunSpec:
         ``"kclosest:6"`` and ``"sdt,me"``.
     theta_tuple ... similar_semantics:
         The corresponding :class:`DogmatixConfig` fields.
-    workers / batch_size / backend / shard_by:
+    workers / batch_size / backend / shard_by / filter_in_workers:
         The execution policy.  ``backend=None`` derives it from the
         worker count (``process`` when > 1); ``workers=0`` means all
         cores.  ``backend="shard"`` moves pair generation into the
         workers; ``shard_by`` picks its strategy (``block`` |
         ``object``) and is ignored by the other backends.
+        ``filter_in_workers`` additionally evaluates the object filter
+        inside the workers (shard backend only — setting it with no
+        explicit backend selects ``shard``, mirroring the CLI flag).
     """
 
     documents: list[str]
@@ -73,6 +76,7 @@ class RunSpec:
     batch_size: int = DEFAULT_BATCH_SIZE
     backend: Optional[str] = None
     shard_by: str = "block"
+    filter_in_workers: bool = False
 
     def __post_init__(self) -> None:
         if not self.documents:
@@ -91,6 +95,18 @@ class RunSpec:
             raise ValueError(
                 f"shard_by must be one of {SHARD_MODES}, got {self.shard_by!r}"
             )
+        if self.filter_in_workers and self.backend not in (None, "shard"):
+            raise ValueError(
+                f"filter_in_workers requires the shard backend (or no "
+                f"explicit backend, which then selects it), got "
+                f"backend={self.backend!r}"
+            )
+        if self.filter_in_workers and not self.use_object_filter:
+            raise ValueError(
+                "filter_in_workers has no filter to shard with "
+                "use_object_filter=False; enable the filter or drop the "
+                "flag"
+            )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
 
@@ -100,14 +116,19 @@ class RunSpec:
     def execution_policy(self) -> ExecutionPolicy:
         """The execution policy this spec describes.
 
-        A non-default ``shard_by`` with no explicit backend selects the
-        shard backend — mirroring the CLI, where ``--shard-by`` implies
-        it — instead of silently demoting the requested sharding to
-        parent-side enumeration.  (The default ``shard_by="block"`` is
+        A non-default ``shard_by`` — or ``filter_in_workers`` — with no
+        explicit backend selects the shard backend, mirroring the CLI
+        where ``--shard-by``/``--filter-in-workers`` imply it, instead
+        of silently demoting the requested sharding to parent-side
+        evaluation.  (The default ``shard_by="block"`` is
         indistinguishable from "unset", so plain block sharding needs
         ``backend="shard"`` spelled out.)
         """
-        if self.backend is None and self.shard_by == "block":
+        if (
+            self.backend is None
+            and self.shard_by == "block"
+            and not self.filter_in_workers
+        ):
             return ExecutionPolicy.for_workers(self.workers, self.batch_size)
         workers = self.workers or (os.cpu_count() or 1)
         return ExecutionPolicy(
@@ -115,6 +136,7 @@ class RunSpec:
             batch_size=self.batch_size,
             backend=self.backend or "shard",
             shard_by=self.shard_by,
+            filter_in_workers=self.filter_in_workers,
         )
 
     def to_config(self) -> DogmatixConfig:

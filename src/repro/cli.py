@@ -106,6 +106,15 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "keys onto shards, 'object' balances "
                              "ownership per pair; results are "
                              "bit-identical to serial either way")
+    parser.add_argument("--filter-in-workers", action="store_true",
+                        help="evaluate the object filter f(OD_i) inside "
+                             "the workers too (implies the shard "
+                             "backend): candidates are hashed onto "
+                             "shards and each worker scores its own "
+                             "share, removing the last serial "
+                             "parent-side pass of step 4; results stay "
+                             "bit-identical, including pruned-object "
+                             "order")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,6 +224,18 @@ def _spec_from_args(
     if args.shard_by is not None:
         spec.shard_by = args.shard_by
         spec.backend = "shard"  # sharded generation needs the shard backend
+    if args.filter_in_workers:
+        spec.filter_in_workers = True
+        spec.backend = "shard"  # worker-side filtering implies it too
+    if spec.filter_in_workers and not spec.use_object_filter:
+        # Flag overrides mutate the spec after __post_init__, so the
+        # RunSpec invariant must be re-checked here (e.g. a spec with
+        # the filter disabled combined with --filter-in-workers).
+        parser.error(
+            "--filter-in-workers has no filter to shard: the object "
+            "filter is disabled (--no-filter or the spec's "
+            "use_object_filter)"
+        )
     return spec
 
 

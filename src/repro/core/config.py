@@ -41,9 +41,11 @@ class DogmatixConfig:
     possible_threshold:
         Optional lower threshold for a C2 "possible duplicates" band.
     execution:
-        How step 5 executes (engine.ExecutionPolicy): worker count,
-        batch size, serial or process backend.  Results are identical
-        across policies; only wall-clock changes.
+        How steps 4+5 execute (engine.ExecutionPolicy): worker count,
+        batch size, backend (serial | process | shard), shard strategy,
+        and whether the object filter evaluates inside the workers
+        (``filter_in_workers``).  Results are identical across
+        policies; only wall-clock changes.
     """
 
     heuristic: Heuristic = field(default_factory=lambda: KClosestDescendants(6))

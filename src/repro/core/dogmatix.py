@@ -78,10 +78,15 @@ class DogmatixShardFactory:
     exactly the similar-value groups the parent-side blocking would,
     and results stay bit-identical to serial.
 
-    ``kept_ids`` carries the parent's object-filter decisions: the
-    filter is a per-object O(n) pass the parent runs anyway (it must
-    report ``pruned_object_ids``), so only the quadratic enumeration is
-    sharded.
+    The object filter runs in one of two places.  With ``kept_ids``
+    set, the parent already ran the per-object pass and only the
+    quadratic enumeration is sharded.  With ``filter_theta`` set
+    (``ExecutionPolicy.filter_in_workers``), the filter itself moves
+    into the workers: the same worker index that drives blocking and
+    similarity also answers f(OD_i)'s similar-value searches — each
+    worker decides only the candidates its filter shards own, and the
+    engine merges the decisions back into candidate order, so not even
+    the filter's O(n) search pass stays serial in the parent.
     """
 
     mapping: TypeMapping
@@ -93,6 +98,20 @@ class DogmatixShardFactory:
     shard_by: str = "block"
     use_blocking: bool = True
     kept_ids: frozenset[int] | None = None
+    #: θ_cand of a worker-side filter pass; None = filter not ours to run.
+    filter_theta: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.filter_theta is not None and self.kept_ids is not None:
+            raise ValueError(
+                "filter_theta (worker-side filter) and kept_ids "
+                "(parent-side filter outcome) are mutually exclusive"
+            )
+
+    @property
+    def filters_objects(self) -> bool:
+        """Engine contract: run the worker filter phase for this runtime."""
+        return self.filter_theta is not None
 
     def __call__(
         self, ods: Sequence[ObjectDescription]
@@ -104,11 +123,17 @@ class DogmatixShardFactory:
             self.theta_cand,
             possible_threshold=self.possible_threshold,
         )
+        object_filter = (
+            ObjectFilter(index, self.filter_theta).decide
+            if self.filter_theta is not None
+            else None
+        )
         source = ShardedPairSource(
             self.shard_count,
             block_index=index if self.use_blocking else None,
             shard_by=self.shard_by,
             kept_ids=self.kept_ids,
+            object_filter=object_filter,
         )
         return classifier, source
 

@@ -27,6 +27,7 @@ would, keeping f comparable in scale to sim.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..framework import ObjectDescription
 from .index import CorpusIndex
@@ -45,7 +46,17 @@ class FilterDecision:
 
 
 class ObjectFilter:
-    """f(OD_i) with an ``f <= θ_cand`` pruning rule."""
+    """f(OD_i) with an ``f <= θ_cand`` pruning rule.
+
+    Decisions are memoized per ``object_id``: f is a pure function of
+    the (immutable) corpus index and the object's tuples, so asking
+    twice — ``score()`` then ``keep()``, or repeated ``match()`` calls
+    — must neither repeat the similar-value searches nor record a
+    second :class:`FilterDecision` (which would double-count
+    ``pruned_count`` and grow ``decisions`` unboundedly).
+    ``decisions`` therefore holds exactly one entry per evaluated
+    object, in first-evaluation order.
+    """
 
     def __init__(self, index: CorpusIndex, theta_cand: float) -> None:
         if not 0 <= theta_cand <= 1:
@@ -53,13 +64,17 @@ class ObjectFilter:
         self.index = index
         self.theta_cand = theta_cand
         self.decisions: list[FilterDecision] = []
+        self._memo: dict[int, FilterDecision] = {}
 
     def score(self, od: ObjectDescription) -> float:
         """f(OD_i) per Equation 9."""
         return self.decide(od).score
 
     def decide(self, od: ObjectDescription) -> FilterDecision:
-        """Evaluate f and record the decision."""
+        """Evaluate f and record the decision (memoized per object id)."""
+        cached = self._memo.get(od.object_id)
+        if cached is not None:
+            return cached
         shared_idf = 0.0
         unique_idf = 0.0
         for odt in od.tuples:
@@ -85,12 +100,27 @@ class ObjectFilter:
             unique_idf=unique_idf,
             kept=score > self.theta_cand,
         )
+        self._memo[od.object_id] = decision
         self.decisions.append(decision)
         return decision
 
     def keep(self, od: ObjectDescription) -> bool:
         """Pruning predicate for :class:`ObjectFilterPruning`."""
         return self.decide(od).kept
+
+    def adopt(self, decisions: Iterable[FilterDecision]) -> None:
+        """Record decisions computed elsewhere (worker-sharded runs).
+
+        Sharded execution evaluates f inside the workers and merges the
+        per-shard :class:`FilterDecision` lists in candidate order; this
+        installs that merged sequence so ``decisions``/``pruned_count``
+        read the same whether the pass ran here or in the workers.
+        Already-memoized ids are skipped, keeping adoption idempotent.
+        """
+        for decision in decisions:
+            if decision.object_id not in self._memo:
+                self._memo[decision.object_id] = decision
+                self.decisions.append(decision)
 
     @property
     def pruned_count(self) -> int:

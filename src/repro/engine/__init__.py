@@ -28,10 +28,13 @@ from .policy import (
 )
 from .sharder import (
     AssembledShardFactory,
+    ObjectDecider,
+    ObjectDecision,
     PairShard,
     ShardablePairSource,
     ShardedPairSource,
     ShardRuntimeFactory,
+    owned_filter_objects,
     stable_hash,
 )
 
@@ -42,6 +45,8 @@ __all__ = [
     "ClassifierFactory",
     "ConstantClassifierFactory",
     "ExecutionPolicy",
+    "ObjectDecider",
+    "ObjectDecision",
     "PairBatcher",
     "PairShard",
     "ParallelClassifier",
@@ -52,6 +57,7 @@ __all__ = [
     "ShardRuntimeFactory",
     "bare_ods",
     "chunked",
+    "owned_filter_objects",
     "score_batch",
     "stable_hash",
 ]

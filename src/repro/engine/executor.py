@@ -23,6 +23,11 @@ produces.  Three backends share the scoring code path:
   shard order, which generally differs from the serial enumeration
   order — the pipeline orders result pairs canonically, so results
   stay bit-identical across backends (``tests/test_shard_equivalence``).
+  When the shard runtime evaluates the object filter too
+  (``ExecutionPolicy.filter_in_workers``), a filter phase runs on the
+  same pool first: each worker decides its share of the candidates and
+  the parent merges the decisions back into candidate order before any
+  pair is enumerated.
 
 Classifier construction inside workers goes through a *classifier
 factory*: a picklable callable ``factory(ods) -> classifier``.  When no
@@ -52,7 +57,12 @@ from ..framework.pruning import PairSource
 from ..framework.result import ScoredPair
 from .batcher import PairBatcher, chunked
 from .policy import ExecutionPolicy
-from .sharder import AssembledShardFactory, ShardRuntimeFactory
+from .sharder import (
+    AssembledShardFactory,
+    ObjectDecision,
+    ShardRuntimeFactory,
+    owned_filter_objects,
+)
 
 #: ``factory(ods) -> classifier``; must be picklable for the process
 #: backend (module-level callables and frozen dataclasses qualify).
@@ -143,9 +153,45 @@ def _init_shard_worker(
     _WORKER_STATE["batch_size"] = batch_size
 
 
-def _score_shard_in_worker(shard_id: int) -> tuple[list[ScoredPair], int]:
-    """Enumerate and classify one shard entirely inside the worker."""
+def _filter_shard_in_worker(shard_id: int) -> list[ObjectDecision]:
+    """Decide f(OD_i) for the objects one filter shard owns.
+
+    The worker's own index answers the similar-value searches, so each
+    shard pays ~1/shard_count of the filter pass the parent used to run
+    serially — and warms the worker's similar-value caches for the pair
+    enumeration that follows.
+    """
     source = _WORKER_STATE["source"]
+    decider = source.object_filter  # type: ignore[union-attr]
+    ods = _WORKER_STATE["ods"]
+    owned = owned_filter_objects(ods, shard_id, source.shard_count)  # type: ignore[arg-type,union-attr]
+    return [decider(od) for od in owned]
+
+
+def _score_shard_in_worker(
+    task: tuple[int, frozenset[int] | None],
+) -> tuple[list[ScoredPair], int]:
+    """Enumerate and classify one shard entirely inside the worker.
+
+    ``task`` carries the shard id plus, for worker-filtered runs, the
+    merged **pruned** ids of the filter phase (``None`` when the filter
+    already ran — or is disabled — in the parent).  The pruned set is
+    the compact complement of the kept set (most objects survive the
+    filter), so it is what crosses the process boundary; the worker
+    derives the kept ids from its own OD instance and installs them —
+    once, on its first pair-shard task: the pool lives for one run and
+    every task of a run carries the identical pruned set, so an
+    already-installed source keeps the source from lazily re-running
+    its own full filter pass on later tasks for free.
+    """
+    shard_id, pruned_ids = task
+    source = _WORKER_STATE["source"]
+    if pruned_ids is not None and source.kept_ids is None:  # type: ignore[union-attr]
+        source.kept_ids = frozenset(  # type: ignore[union-attr]
+            od.object_id
+            for od in _WORKER_STATE["ods"]  # type: ignore[union-attr]
+            if od.object_id not in pruned_ids
+        )
     ods = _WORKER_STATE["ods"]
     by_id = _WORKER_STATE["by_id"]
     classifier = _WORKER_STATE["classifier"]
@@ -217,7 +263,7 @@ class ParallelClassifier:
         if self.policy.backend == "shard" and self.policy.workers > 1:
             factory = self._resolve_shard_factory(pair_source)
             if factory is not None and _picklable(factory):
-                return self._run_shard(ods, factory)
+                return self._run_shard(ods, factory, pair_source)
         batches = PairBatcher(self.policy.batch_size).batches(pair_source, ods)
         if self.policy.parallel:
             factory = self.classifier_factory or ConstantClassifierFactory(
@@ -291,8 +337,21 @@ class ParallelClassifier:
         self,
         ods: Sequence[ObjectDescription],
         factory: ShardRuntimeFactory,
+        pair_source: PairSource,
     ) -> tuple[list[ScoredPair], int]:
-        """Worker-side pair generation: ship shard ids, not pair batches."""
+        """Worker-side pair generation: ship shard ids, not pair batches.
+
+        When the factory evaluates the object filter in the workers
+        (``filters_objects``), a filter phase precedes enumeration:
+        each worker decides the objects of its filter shards, the
+        parent merges the decisions back into **candidate order** (the
+        order the serial parent-side pass would have produced), and
+        the merged pruned ids — the compact complement of the kept set
+        — ride along with every pair-shard task.
+        The merged decisions are also installed on the parent-side
+        ``pair_source`` so the pipeline reports the same
+        ``pruned_object_ids`` as every other backend.
+        """
         self.last_backend = "shard"
         payload = bare_ods(ods)
         pairs: list[ScoredPair] = []
@@ -303,11 +362,32 @@ class ParallelClassifier:
             initializer=_init_shard_worker,
             initargs=(factory, payload, self.keep_possible, self.policy.batch_size),
         ) as pool:
+            pruned_ids: frozenset[int] | None = None
+            if getattr(factory, "filters_objects", False):
+                decisions_by_id: dict[int, ObjectDecision] = {}
+                for shard_decisions in pool.imap(
+                    _filter_shard_in_worker, range(factory.shard_count)
+                ):
+                    for decision in shard_decisions:
+                        decisions_by_id[decision.object_id] = decision
+                merged = [decisions_by_id[od.object_id] for od in ods]
+                pruned_ids = frozenset(
+                    decision.object_id
+                    for decision in merged
+                    if not decision.kept
+                )
+                adopt = getattr(pair_source, "adopt_filter_decisions", None)
+                if adopt is not None:
+                    adopt(merged)
             # imap over shard ids: workers pull shards as they free up
             # (more shards than workers -> dynamic balancing of uneven
             # blocks) while results arrive in deterministic shard order.
             for kept, shard_compared in pool.imap(
-                _score_shard_in_worker, range(factory.shard_count)
+                _score_shard_in_worker,
+                (
+                    (shard_id, pruned_ids)
+                    for shard_id in range(factory.shard_count)
+                ),
             ):
                 pairs.extend(kept)
                 compared += shard_compared

@@ -72,12 +72,24 @@ class ExecutionPolicy:
     shard_by:
         Sharding strategy for the ``shard`` backend (``"block"`` or
         ``"object"``); ignored by the other backends.
+    filter_in_workers:
+        Evaluate the object filter f(OD_i) *inside* the workers
+        (``shard`` backend only): candidate objects are partitioned
+        across shards by stable hash, each worker scores f over its
+        own objects via its local index, and the parent merges the
+        decisions in candidate order — removing the last serial
+        parent-side pass of step 4.  Off by default; results are
+        bit-identical either way (same decisions, same
+        ``pruned_object_ids`` order).  Requires ``backend="shard"``:
+        the serial and process backends enumerate in the parent, where
+        a "worker-side" filter has no meaning.
     """
 
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     backend: str = "serial"
     shard_by: str = "block"
+    filter_in_workers: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -97,6 +109,12 @@ class ExecutionPolicy:
                 f"workers={self.workers} with backend='serial' would run "
                 "single-process anyway; use backend='process' or "
                 "ExecutionPolicy.for_workers()"
+            )
+        if self.filter_in_workers and self.backend != "shard":
+            raise ValueError(
+                f"filter_in_workers requires backend='shard' (the other "
+                f"backends run step 4 in the parent), got "
+                f"backend={self.backend!r}"
             )
 
     @classmethod
@@ -121,6 +139,7 @@ class ExecutionPolicy:
         workers: int,
         batch_size: int = DEFAULT_BATCH_SIZE,
         shard_by: str = "block",
+        filter_in_workers: bool = False,
     ) -> "ExecutionPolicy":
         """Shard-backend policy for a worker count (0 = all cores)."""
         if workers == 0:
@@ -130,6 +149,7 @@ class ExecutionPolicy:
             batch_size=batch_size,
             backend="shard",
             shard_by=shard_by,
+            filter_in_workers=filter_in_workers,
         )
 
     @property

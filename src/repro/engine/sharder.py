@@ -30,6 +30,14 @@ The emitted pair *set* equals the wrapped blocking's pair set, and the
 pipeline orders result pairs canonically, so the sharded backend is
 bit-identical to serial for any shard count — the invariant
 ``tests/test_shard_equivalence.py`` fuzzes.
+
+The **object filter** shards the same way (``filter_in_workers``): the
+per-object f(OD_i) pass — whose similar-value searches dominate step 4
+on large corpora — partitions candidates across shards by stable hash
+(:func:`owned_filter_objects`), each worker decides its own objects
+against its local index, and the parent merges the decisions back into
+candidate order, so ``pruned_object_ids`` (and every downstream byte)
+match the serial parent-side pass exactly.
 """
 
 from __future__ import annotations
@@ -72,6 +80,43 @@ class PairShard:
             raise ValueError(
                 f"shard_id must be in [0, {self.shard_count}), got {self.shard_id}"
             )
+
+
+@runtime_checkable
+class ObjectDecision(Protocol):
+    """What sharded filter evaluation needs of a per-object decision.
+
+    Structurally satisfied by
+    :class:`repro.core.object_filter.FilterDecision` — typed here so the
+    engine stays import-free of :mod:`repro.core` (which imports the
+    engine).
+    """
+
+    object_id: int
+    kept: bool
+
+
+#: Evaluates the object filter for one OD and returns its decision
+#: (e.g. ``ObjectFilter.decide``).  Must be deterministic: every worker
+#: and the parent fallback must reach identical decisions.
+ObjectDecider = Callable[[ObjectDescription], ObjectDecision]
+
+
+def owned_filter_objects(
+    ods: Sequence[ObjectDescription], shard_id: int, shard_count: int
+) -> list[ObjectDescription]:
+    """The candidate objects one filter shard owns.
+
+    Object-filter evaluation is a per-object pass, so its sharding is
+    simpler than pair ownership: each object belongs to exactly one
+    shard by process-stable hash of its id.  Every worker and the
+    parent agree on the partition with no communication, and the union
+    over ``range(shard_count)`` is exactly ``ods``.
+    """
+    PairShard(shard_id, shard_count)  # validates the id
+    return [
+        od for od in ods if stable_hash(od.object_id) % shard_count == shard_id
+    ]
 
 
 @runtime_checkable
@@ -138,6 +183,13 @@ class ShardRuntimeFactory(Protocol):
     can share one expensive substrate (for DogmatiX: one
     :class:`~repro.core.index.CorpusIndex` drives both similarity and
     blocking keys).
+
+    A factory that also evaluates the object filter inside the workers
+    advertises it with a truthy ``filters_objects`` attribute and
+    attaches an :data:`ObjectDecider` to the returned source's
+    ``object_filter``; the executor then runs a filter phase (each
+    worker decides its :func:`owned_filter_objects`) before pair
+    enumeration and merges the decisions in candidate order.
     """
 
     shard_count: int
@@ -172,13 +224,25 @@ class ShardedPairSource:
         hashed per pair, so even one giant block spreads evenly (at the
         cost of every shard walking the full block structure).
     kept_ids:
-        Object-filter survivors; ``None`` disables filtering.  The
-        filter decision itself stays in the caller (it needs the full
-        corpus either way); only enumeration is restricted here.
+        Object-filter survivors; ``None`` disables filtering (unless
+        ``object_filter`` is given).  Pass pre-computed ids when the
+        caller already ran the filter; only enumeration is restricted
+        here.
     pruned_ids:
         Ids the caller's object filter pruned, carried for the
         pipeline's :class:`~repro.framework.result.DetectionResult`
         (mirrors ``ObjectFilterPruning.pruned_ids``).
+    object_filter:
+        An :data:`ObjectDecider` evaluating f(OD_i), for runs whose
+        filter decisions are *not* pre-computed.  Two uses: (a) a
+        worker evaluates it over the objects of one filter shard
+        (:func:`owned_filter_objects`) and ships the decisions back;
+        (b) the serial fallback — when no pool ever forms — evaluates
+        it lazily over all candidates, in candidate order, on first
+        enumeration.  Either way :meth:`adopt_filter_decisions`
+        installs the merged outcome, after which ``kept_ids`` /
+        ``pruned_ids`` / ``filter_decisions`` read exactly like a
+        parent-side pass.
     """
 
     def __init__(
@@ -188,6 +252,7 @@ class ShardedPairSource:
         shard_by: str = "block",
         kept_ids: Iterable[int] | None = None,
         pruned_ids: Iterable[int] = (),
+        object_filter: ObjectDecider | None = None,
     ) -> None:
         if shard_count < 1:
             raise ValueError(f"shard_count must be >= 1, got {shard_count}")
@@ -200,6 +265,9 @@ class ShardedPairSource:
         self.shard_by = shard_by
         self.kept_ids = None if kept_ids is None else frozenset(kept_ids)
         self.pruned_ids = list(pruned_ids)
+        self.object_filter = object_filter
+        #: Filter decisions in candidate order, once evaluated/adopted.
+        self.filter_decisions: list[ObjectDecision] = []
         # Ownership memos, shared across shards and calls (both depend
         # only on the provider): per-object direct terms (cheap) and
         # similarity-expanded key sets (searches; resolved lazily, only
@@ -214,27 +282,89 @@ class ShardedPairSource:
     # PairSource protocol (serial / parent-side use)
     # ------------------------------------------------------------------
     def pairs(self, ods: Sequence[ObjectDescription]) -> Iterator[tuple[int, int]]:
-        """All pairs, shard by shard (the serial view of this source)."""
+        """All pairs, shard by shard (the serial view of this source).
+
+        A filter-carrying source re-evaluates its filter here, eagerly,
+        for *this* call's candidate set — like
+        :class:`~repro.framework.pruning.ObjectFilterPruning`, a reused
+        source must neither report a previous run's pruned ids nor
+        enumerate against its stale kept set, and an undrained stream
+        must still leave the filter outcome readable.  (Worker-side
+        enumeration goes through :meth:`shard_pairs` directly, where
+        the merged kept ids of the pool's filter phase are installed
+        beforehand and must survive.)
+        """
+        if self.object_filter is not None:
+            self.kept_ids = None
+            self.pruned_ids = []
+            self.filter_decisions = []
+            self._ensure_filtered(ods)
+        return self._all_shards(ods)
+
+    def _all_shards(
+        self, ods: Sequence[ObjectDescription]
+    ) -> Iterator[tuple[int, int]]:
         for shard_id in range(self.shard_count):
             yield from self.shard_pairs(ods, shard_id)
 
     # ------------------------------------------------------------------
     # Shard-local enumeration
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Object-filter evaluation (worker-sharded or lazy serial fallback)
+    # ------------------------------------------------------------------
+    def adopt_filter_decisions(self, decisions: Iterable[ObjectDecision]) -> None:
+        """Install filter decisions merged elsewhere (candidate order).
+
+        Overwrites ``kept_ids``/``pruned_ids``: the decisions *are* the
+        filter outcome, whether a pool merged per-shard results or the
+        serial fallback just evaluated them here.
+        """
+        self.filter_decisions = list(decisions)
+        self.kept_ids = frozenset(
+            decision.object_id
+            for decision in self.filter_decisions
+            if decision.kept
+        )
+        self.pruned_ids = [
+            decision.object_id
+            for decision in self.filter_decisions
+            if not decision.kept
+        ]
+
+    def _ensure_filtered(self, ods: Sequence[ObjectDescription]) -> None:
+        """Serial fallback: run the pending filter pass in this process.
+
+        Only fires when an :data:`ObjectDecider` was supplied but no
+        ``kept_ids`` exist yet — i.e. no worker pool ran the sharded
+        pass (``workers=1``, or an unpicklable runtime degraded to
+        parent-side enumeration).  Evaluates in candidate order, like
+        the classic parent-side pass, so ``pruned_ids`` stay
+        bit-identical across execution modes.
+        """
+        if self.object_filter is None or self.kept_ids is not None:
+            return
+        self.adopt_filter_decisions(self.object_filter(od) for od in ods)
+
     def shard_pairs(
         self, ods: Sequence[ObjectDescription], shard_id: int
     ) -> Iterator[tuple[int, int]]:
-        """The pairs shard ``shard_id`` owns, exactly once each."""
+        """The pairs shard ``shard_id`` owns, exactly once each.
+
+        Validation and the pending filter pass run eagerly (not at
+        first ``next()``), so ``pruned_ids`` are correct as soon as
+        this returns — even for a stream that is never drained.
+        """
         PairShard(shard_id, self.shard_count)  # validates the id
+        self._ensure_filtered(ods)
         kept = (
             list(ods)
             if self.kept_ids is None
             else [od for od in ods if od.object_id in self.kept_ids]
         )
         if self.block_index is not None:
-            yield from self._block_shard(kept, shard_id)
-        else:
-            yield from self._all_pairs_shard(kept, shard_id)
+            return self._block_shard(kept, shard_id)
+        return self._all_pairs_shard(kept, shard_id)
 
     def _shard_of_key(self, canon_key: str) -> int:
         return stable_hash(canon_key) % self.shard_count
@@ -370,6 +500,11 @@ class AssembledShardFactory:
     @property
     def shard_count(self) -> int:
         return self.source.shard_count
+
+    @property
+    def filters_objects(self) -> bool:
+        """Worker-side filter evaluation, iff the source carries one."""
+        return getattr(self.source, "object_filter", None) is not None
 
     def __call__(
         self, ods: Sequence[ObjectDescription]

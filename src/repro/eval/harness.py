@@ -55,10 +55,14 @@ def session_for(
     theta_tuple: float = 0.15,
     theta_cand: float = 0.55,
     policy: ExecutionPolicy | None = None,
+    use_object_filter: bool = False,
 ) -> DetectionSession:
     """A prepared session for one (dataset, heuristic, experiment) cell."""
     config = experiment.config(
-        heuristic, theta_tuple=theta_tuple, theta_cand=theta_cand
+        heuristic,
+        theta_tuple=theta_tuple,
+        theta_cand=theta_cand,
+        use_object_filter=use_object_filter,
     )
     if policy is not None:
         config.execution = policy
@@ -102,6 +106,12 @@ class BackendRun:
     compared_pairs: int
     #: Bit-identical to the first (reference) policy's DetectionResult.
     identical: bool
+    #: Same FilterDecision sequence (ids, scores, kept flags) as the
+    #: reference run — True trivially when the filter is disabled.
+    #: Pins that parent-side and worker-side (``filter_in_workers``)
+    #: filter evaluation agree decision for decision, not just on the
+    #: surviving pair set.
+    filter_identical: bool = True
 
 
 def compare_execution_backends(
@@ -111,6 +121,7 @@ def compare_execution_backends(
     experiment: Experiment | None = None,
     theta_tuple: float = 0.15,
     theta_cand: float = 0.55,
+    use_object_filter: bool = False,
 ) -> list[BackendRun]:
     """Run one sweep cell under several execution policies.
 
@@ -122,6 +133,12 @@ def compare_execution_backends(
     ``benchmarks/bench_shard.py`` runs the same parity predicate but
     deliberately over one *cold* session per policy, because warm
     similar-value caches would mask the pair-generation cost it times.
+
+    With ``use_object_filter=True`` each run's per-object
+    :class:`FilterDecision` sequence is compared against the
+    reference's too (``BackendRun.filter_identical``) — the parity
+    notion for parent-side vs worker-side
+    (``ExecutionPolicy.filter_in_workers``) filter evaluation.
     """
     session = session_for(
         dataset,
@@ -129,23 +146,34 @@ def compare_execution_backends(
         experiment or EXPERIMENTS[0],
         theta_tuple=theta_tuple,
         theta_cand=theta_cand,
+        use_object_filter=use_object_filter,
     )
     gold = gold_pairs(session.ods)
     runs: list[BackendRun] = []
     reference = None
+    reference_decisions: tuple | None = None
     for policy in policies:
         result = session.detect(policy=policy)
+        decisions = (
+            tuple(session.object_filter.decisions)
+            if session.object_filter is not None
+            else None
+        )
         if reference is None:
             reference = result
+            reference_decisions = decisions
             identical = True
+            filter_identical = True
         else:
             identical = result.identical_to(reference)
+            filter_identical = decisions == reference_decisions
         runs.append(
             BackendRun(
                 policy=policy,
                 metrics=pair_metrics(result.duplicate_id_pairs(), gold),
                 compared_pairs=result.compared_pairs,
                 identical=identical,
+                filter_identical=filter_identical,
             )
         )
     return runs

@@ -61,8 +61,17 @@ class ObjectFilterPruning:
         self.pruned_ids: list[int] = []
 
     def pairs(self, ods: Sequence[ObjectDescription]) -> Iterator[tuple[int, int]]:
-        kept = []
+        # Reset eagerly, not inside the generator: a generator body only
+        # runs at first next(), so a reused pipeline whose pair stream
+        # is never drained would keep reporting the *previous* run's
+        # pruned ids.
         self.pruned_ids = []
+        return self._generate(ods)
+
+    def _generate(
+        self, ods: Sequence[ObjectDescription]
+    ) -> Iterator[tuple[int, int]]:
+        kept = []
         for od in ods:
             if self.object_filter(od):
                 kept.append(od)

@@ -177,6 +177,88 @@ class TestMatch:
         matches = paper_session.match(foreign.root.children[0])
         assert [m.object_id for m in matches] == [2]  # the "Signs" movie
 
+    def test_foreign_od_id_never_collides_with_corpus_ids(self):
+        """Regression: foreign elements used a hard-coded od id of -1.
+
+        Candidate ids are not constrained to 0..n-1, so a corpus can
+        legitimately contain an object with id -1 — and the filter's
+        ``exclude=od.object_id`` then silently dropped that *real*
+        object (here: the foreign element's only duplicate, the paper's
+        movie 1) from the shared-evidence search, pruning the foreign
+        object and turning its match() answer into [].  The session now
+        assigns a sentinel id strictly outside the corpus id space.
+        """
+        from repro.core import ObjectFilter
+        from repro.framework import ObjectDescription
+
+        config = DogmatixConfig(
+            heuristic=RDistantDescendants(2),
+            theta_tuple=0.55,
+            theta_cand=0.3,
+            use_object_filter=True,
+        )
+        mapping = paper_example_mapping()
+        corpus = Corpus(Source(paper_example_document(), paper_example_schema()))
+        base = corpus.generate_ods(mapping, "MOVIE", config)
+        renumbered = [  # movie 1 becomes object -1
+            ObjectDescription(
+                -1 if od.object_id == 0 else od.object_id, od.tuples, od.element
+            )
+            for od in base
+        ]
+        session = DetectionSession(corpus, mapping, "MOVIE", config, ods=renumbered)
+        # A foreign element whose only shared values (L. Fishburne /
+        # Morpheus) live in object -1.
+        foreign = parse(
+            "<moviedoc><movie><actor><name>L. Fishburne</name>"
+            "<role>Morpheus</role></actor></movie></moviedoc>"
+        )
+        element = foreign.root.children[0]
+        foreign_od = session._resolve_od(element)
+        assert foreign_od.object_id not in {od.object_id for od in renumbered}
+        # With the old colliding id, the filter sees no shared evidence:
+        collided = ObjectDescription(-1, foreign_od.tuples, foreign_od.element)
+        assert not ObjectFilter(session.index, 0.3).keep(collided)
+        # The sentinel id keeps object -1's evidence in play end to end.
+        assert ObjectFilter(session.index, 0.3).keep(foreign_od)
+        assert [m.object_id for m in session.match(element)] == [-1]
+
+    def test_each_foreign_element_gets_a_distinct_sentinel_id(self):
+        """Two different foreign elements must not share a sentinel id:
+        ObjectFilter.decide memoizes per object id, so a shared id
+        would silently apply the first element's filter verdict to the
+        second one anywhere a filter instance outlives one lookup."""
+        from repro.core import ObjectFilter
+
+        session = DetectionSession(
+            Source(paper_example_document(), paper_example_schema()),
+            paper_example_mapping(),
+            "MOVIE",
+            DogmatixConfig(
+                heuristic=RDistantDescendants(2),
+                theta_tuple=0.55,
+                theta_cand=0.55,
+            ),
+        )
+        matrix = parse(
+            "<moviedoc><movie><title>The Matrix</title><year>1999</year>"
+            "</movie></moviedoc>"
+        )
+        loner = parse(
+            "<moviedoc><movie><title>Solaris</title><year>1972</year>"
+            "</movie></moviedoc>"
+        )
+        od_matrix = session._resolve_od(matrix.root.children[0])
+        od_loner = session._resolve_od(loner.root.children[0])
+        corpus_ids = {od.object_id for od in session.ods}
+        assert od_matrix.object_id not in corpus_ids
+        assert od_loner.object_id not in corpus_ids
+        assert od_matrix.object_id != od_loner.object_id
+        shared = ObjectFilter(session.index, 0.55)
+        assert shared.keep(od_matrix)  # shares title/year evidence
+        assert not shared.keep(od_loner)  # nothing similar anywhere
+        assert len(shared.decisions) == 2
+
     def test_match_unknown_id(self, paper_session):
         with pytest.raises(KeyError):
             paper_session.match(99)

@@ -145,6 +145,45 @@ class TestRoundTrip:
                 shard_by="rows",
             )
 
+    def test_filter_in_workers_round_trips(self):
+        spec = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            workers=4, backend="shard", filter_in_workers=True,
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.execution_policy() == ExecutionPolicy.sharded(
+            4, 256, filter_in_workers=True
+        )
+
+    def test_filter_in_workers_implies_shard_backend(self):
+        """Like shard_by: asking for worker-side filtering with no
+        explicit backend selects shard instead of silently running the
+        filter in the parent."""
+        spec = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            workers=4, filter_in_workers=True,
+        )
+        policy = spec.execution_policy()
+        assert policy.backend == "shard"
+        assert policy.filter_in_workers
+
+    def test_filter_in_workers_rejects_non_shard_backends(self):
+        with pytest.raises(ValueError, match="filter_in_workers"):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                workers=4, backend="process", filter_in_workers=True,
+            )
+
+    def test_filter_in_workers_requires_the_filter(self):
+        """Worker-side filtering with the object filter disabled is a
+        contradiction — there is no filter to shard."""
+        with pytest.raises(ValueError, match="no filter to shard"):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                workers=4, use_object_filter=False, filter_in_workers=True,
+            )
+
     def test_unknown_json_keys_rejected(self):
         payload = json.loads(full_spec().to_json())
         payload["typo_field"] = 1

@@ -175,6 +175,47 @@ class TestSpecWorkflow:
         assert code == 0
         assert capsys.readouterr().out == serial_out
 
+    def test_filter_in_workers_selects_the_shard_backend(self, spec_dir, capsys):
+        """--filter-in-workers implies the shard backend and leaves the
+        dupcluster output bit-identical to the serial run of the same
+        spec (the example spec disables the filter, so the test enables
+        it — worker-side filtering with no filter is rejected)."""
+        import json
+
+        from repro.cli import _spec_from_args
+
+        spec_path = spec_dir / "run.json"
+        data = json.loads(spec_path.read_text())
+        data["use_object_filter"] = True
+        spec_path.write_text(json.dumps(data))
+        serial = main(["dedup", "--spec", str(spec_path)])
+        assert serial == 0
+        serial_out = capsys.readouterr().out
+        argv = [
+            "dedup", "--spec", str(spec_path),
+            "--workers", "2",
+            "--filter-in-workers",
+        ]
+        parser = build_parser()
+        spec = _spec_from_args(parser.parse_args(argv), parser)
+        assert spec.backend == "shard"
+        assert spec.filter_in_workers
+        assert main(argv) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_filter_in_workers_without_filter_is_rejected(self, spec_dir, capsys):
+        """The example spec disables the object filter; asking for
+        worker-side filtering on top is a contradiction, not a silent
+        backend switch."""
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "dedup", "--spec", str(spec_dir / "run.json"),
+                "--workers", "2",
+                "--filter-in-workers",
+            ])
+        assert excinfo.value.code == 2
+        assert "no filter to shard" in capsys.readouterr().err
+
     def test_workers_keeps_spec_declared_shard_backend(self, spec_dir, capsys):
         """--workers re-derives serial/process backends from the count
         but must not silently demote a spec-declared shard backend to

@@ -121,6 +121,37 @@ class TestObjectFilter:
         assert len(object_filter.decisions) == 4
         assert object_filter.pruned_count == 2
 
+    def test_repeated_evaluation_records_one_decision(self, index, ods):
+        """Regression: every decide() appended a FilterDecision, so
+        score()+keep() on one OD — or repeated match() calls — double-
+        counted pruned_count and grew decisions unboundedly."""
+        object_filter = ObjectFilter(index, 0.55)
+        object_filter.score(ods[2])
+        object_filter.keep(ods[2])
+        object_filter.decide(ods[2])
+        assert len(object_filter.decisions) == 1
+        assert object_filter.pruned_count == 1
+
+    def test_decide_is_memoized(self, index, ods):
+        object_filter = ObjectFilter(index, 0.55)
+        first = object_filter.decide(ods[0])
+        assert object_filter.decide(ods[0]) is first
+
+    def test_adopt_installs_external_decisions_idempotently(self, index, ods):
+        """Worker-sharded runs merge decisions computed in the workers;
+        adopting them must read exactly like a local pass and must not
+        duplicate ids already decided here."""
+        remote = ObjectFilter(index, 0.55)
+        for od in ods:
+            remote.keep(od)
+        local = ObjectFilter(index, 0.55)
+        local.decide(ods[0])  # already decided locally -> kept as-is
+        local.adopt(remote.decisions)
+        local.adopt(remote.decisions)  # idempotent
+        assert len(local.decisions) == 4
+        assert local.pruned_count == remote.pruned_count == 2
+        assert local.decide(ods[1]) == remote.decisions[1]
+
     def test_kind_unspecified_elsewhere_is_neutral(self, mapping):
         ods = [
             od_from_pairs(0, [("alpha", "/db/rec[1]/name"),

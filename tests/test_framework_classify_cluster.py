@@ -161,6 +161,45 @@ class TestPairSources:
         assert all(2 not in pair for pair in pairs)
         assert source.pruned_ids == [2]
 
+    def test_reused_filter_pruning_resets_pruned_ids_eagerly(self):
+        """Regression: pairs() reset pruned_ids inside the generator
+        body, i.e. only at first next() — a reused source whose second
+        pair stream was never drained kept reporting the previous run's
+        pruned ids."""
+        ods = self.make_ods(4)
+        source = ObjectFilterPruning(lambda od: od.object_id != 2)
+        list(source.pairs(ods))
+        assert source.pruned_ids == [2]
+        survivors = [od for od in ods if od.object_id != 2]
+        stream = source.pairs(survivors)  # deliberately never drained
+        assert source.pruned_ids == []  # stale [2] before the fix
+        assert list(stream) == [(0, 1), (0, 3), (1, 3)]
+        assert source.pruned_ids == []
+
+    def test_reused_pipeline_reports_current_runs_pruned_ids(self):
+        """A pipeline holding one ObjectFilterPruning across detect()
+        calls reports each run's own pruned ids, not an accumulation."""
+        from repro.framework import (
+            CandidateDefinition,
+            DescriptionDefinition,
+            DetectionPipeline,
+        )
+
+        class NeverDuplicates:
+            def classify(self, left, right):
+                return NON_DUPLICATES
+
+        pipeline = DetectionPipeline(
+            candidate_definition=CandidateDefinition("T", ("/x",)),
+            description_definition=DescriptionDefinition((".",)),
+            classifier=NeverDuplicates(),
+            pair_source=ObjectFilterPruning(lambda od: od.object_id % 2 == 0),
+        )
+        first = pipeline.detect(self.make_ods(4))
+        assert first.pruned_object_ids == [1, 3]
+        second = pipeline.detect(self.make_ods(6))
+        assert second.pruned_object_ids == [1, 3, 5]
+
     def test_blocking_pairs_only_within_blocks(self):
         ods = self.make_ods(4)
         blocks = {0: ["a"], 1: ["a"], 2: ["b"], 3: ["b", "a"]}

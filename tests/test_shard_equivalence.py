@@ -218,6 +218,12 @@ SHARD_POLICIES = (
     ExecutionPolicy.sharded(2, shard_by="object"),  # pair-hash ownership
     ExecutionPolicy.sharded(1),  # degenerate: sharded source, serial loop
     ExecutionPolicy(workers=2, batch_size=32, backend="process"),  # PR 1 path
+    # Worker-side object filter: f(OD_i) evaluated inside the workers,
+    # decisions merged back into candidate order (PR 4).  The last
+    # policy exercises the no-pool fallback, where the pending filter
+    # runs lazily in the parent.
+    ExecutionPolicy.sharded(2, filter_in_workers=True),
+    ExecutionPolicy.sharded(1, filter_in_workers=True),
 )
 
 
