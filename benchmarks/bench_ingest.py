@@ -1,0 +1,242 @@
+"""Parallel ingestion + snapshot store: parity check and speedup report.
+
+Measures what the ingest subsystem buys on the two axes PR 5 opened:
+
+* **parallel build** — corpus construction (parse, schema inference,
+  OD generation, partial-index build) across pool workers vs the
+  serial parent-side build;
+* **warm start** — loading a content-addressed ``IndexStore`` snapshot
+  vs rebuilding the session from the raw XML.
+
+The corpus is Dataset 3 written to disk (the CLI/service shape: files
+plus a ``RunSpec``).  Every mode must produce the same candidate set
+and index statistics (``repro.eval.harness.same_build``); ``--smoke``
+additionally pins bit-identical ``detect()`` results at a small scale.
+
+Standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --smoke
+    PYTHONPATH=src python benchmarks/bench_ingest.py --workers 4
+
+or through pytest like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ingest.py -q
+
+Scale via ``REPRO_D3_COUNT`` (default 2000; paper scale 10000).  The
+parallel>=serial assertion only fires on hosts with >= 4 CPU cores;
+the warm-load<rebuild assertion fires in full (non-smoke) runs; parity
+is asserted unconditionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import RunSpec
+from repro.eval import build_dataset3
+from repro.eval.harness import same_build
+from repro.ingest import IndexStore
+from repro.xmlkit import Document, serialize
+
+MIN_CORES = 4
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def write_corpus(dataset, directory: pathlib.Path) -> RunSpec:
+    """Dataset 3 as on-disk files plus a spec (the warm-start shape)."""
+    (source,) = dataset.sources
+    document = source.document
+    if not isinstance(document, Document):
+        document = Document(document)
+    doc_path = directory / "freedb.xml"
+    doc_path.write_text(serialize(document, indent=None), encoding="utf-8")
+    mapping_path = directory / "mapping.xml"
+    mapping_path.write_text(dataset.mapping.to_xml(), encoding="utf-8")
+    return RunSpec(
+        documents=[str(doc_path)],
+        mapping=str(mapping_path),
+        real_world_type=dataset.real_world_type,
+        use_object_filter=False,  # isolate construction, not step 4
+    )
+
+
+def run_ingest_bench(
+    count: int,
+    seed: int = 11,
+    workers: int = 4,
+    verify_detect: bool = False,
+) -> dict:
+    """Serial build vs parallel build vs snapshot load, one corpus.
+
+    Each mode constructs a complete session from the on-disk corpus:
+    ``serial`` and ``parallel`` run the full cold build (parsing
+    included — that is what a fresh CLI invocation pays), ``warm``
+    loads the snapshot the save step produced.
+    """
+    dataset = build_dataset3(count, seed)
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-") as tmp:
+        directory = pathlib.Path(tmp)
+        spec = write_corpus(dataset, directory)
+        store = IndexStore(directory / "store")
+
+        def timed(mode, build):
+            started = time.perf_counter()
+            session = build()
+            elapsed = time.perf_counter() - started
+            rows.append({"mode": mode, "seconds": elapsed, "session": session})
+            return session
+
+        spec.ingest_workers = 1
+        reference = timed("serial", spec.build_session)
+        spec.ingest_workers = workers
+        timed(f"parallel({workers})", spec.build_session)
+        spec.ingest_workers = 1
+
+        save_started = time.perf_counter()
+        store.save(spec, reference)
+        save_seconds = time.perf_counter() - save_started
+        warm = timed("warm-load", lambda: store.load(spec))
+        assert warm is not None, "snapshot vanished between save and load"
+
+        reference_result = reference.detect() if verify_detect else None
+        for row in rows:
+            session = row.pop("session")
+            row["candidates"] = len(session.ods)
+            row["identical"] = same_build(reference, session)
+            if verify_detect:
+                row["detect_identical"] = (
+                    session is reference
+                    or session.detect().identical_to(reference_result)
+                )
+    serial_seconds = rows[0]["seconds"]
+    for row in rows:
+        row["speedup"] = serial_seconds / row["seconds"] if row["seconds"] else 0.0
+    parallel_seconds = rows[1]["seconds"]
+    warm_seconds = rows[2]["seconds"]
+    return {
+        "count": count,
+        "workers": workers,
+        "candidates": rows[0]["candidates"],
+        "save_seconds": save_seconds,
+        "rows": rows,
+        "parallel_vs_serial": (
+            serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        ),
+        "warm_vs_serial": serial_seconds / warm_seconds if warm_seconds else 0.0,
+    }
+
+
+def format_table(bench: dict) -> str:
+    lines = [
+        f"{bench['candidates']} candidates from Dataset 3 "
+        f"(n={bench['count']}; workers: {bench['workers']}, "
+        f"host cores: {os.cpu_count()}); snapshot save "
+        f"{bench['save_seconds']:.2f}s",
+        f"{'mode':>14} {'seconds':>9} {'vs serial':>10} {'parity':>7}",
+    ]
+    for row in bench["rows"]:
+        parity = "ok" if row["identical"] else "FAIL"
+        if row.get("detect_identical") is False:
+            parity = "FAIL"
+        lines.append(
+            f"{row['mode']:>14} {row['seconds']:>9.2f} "
+            f"{row['speedup']:>9.2f}x {parity:>7}"
+        )
+    lines.append(
+        f"parallel build vs serial: {bench['parallel_vs_serial']:.2f}x; "
+        f"warm-start load vs rebuild: {bench['warm_vs_serial']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def check(bench: dict, require_speedup: bool) -> None:
+    """Parity always; speedups only where the host/scale supports them."""
+    for row in bench["rows"]:
+        assert row["identical"], f"{row['mode']} build diverged from serial"
+        assert row.get("detect_identical") is not False, (
+            f"{row['mode']} detection diverged from serial"
+        )
+    assert bench["candidates"] > 0, "benchmark corpus produced no candidates"
+    if require_speedup:
+        assert bench["warm_vs_serial"] >= 1.0, (
+            f"expected the snapshot load to beat the cold rebuild, measured "
+            f"{bench['warm_vs_serial']:.2f}x"
+        )
+        cores = os.cpu_count() or 1
+        if cores >= MIN_CORES:
+            assert bench["parallel_vs_serial"] >= 1.0, (
+                f"expected the parallel build to beat serial on a "
+                f"{cores}-core host, measured "
+                f"{bench['parallel_vs_serial']:.2f}x"
+            )
+        else:
+            print(
+                f"note: only {cores} core(s) available; skipping the "
+                f"parallel>=serial assertion "
+                f"(measured {bench['parallel_vs_serial']:.2f}x)"
+            )
+
+
+def test_ingest_engine(report):
+    """Pytest entry point, consistent with the other bench files."""
+    count = scale("REPRO_D3_COUNT", 2000)
+    bench = run_ingest_bench(count)
+    report(
+        f"Parallel ingest & warm start: speedup & parity on Dataset 3 "
+        f"(n={count})",
+        format_table(bench),
+    )
+    check(bench, require_speedup=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, parity (incl. detection) only (for CI)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="Dataset 3 size (default: REPRO_D3_COUNT or 2000; smoke: 150)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="ingest worker count (default: 4; smoke: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        count = args.count or 150
+        workers = args.workers or 2
+    else:
+        count = args.count or scale("REPRO_D3_COUNT", 2000)
+        workers = args.workers or 4
+
+    bench = run_ingest_bench(count, workers=workers, verify_detect=args.smoke)
+    print(format_table(bench))
+    check(bench, require_speedup=not args.smoke)
+    print("parity ok across serial, parallel, and warm-start builds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 from ..core import DogmatixConfig, Source
 from ..core.dogmatix import DogmatixClassifierFactory, DogmatixShardFactory
-from ..core.index import CorpusIndex
+from ..core.index import CorpusIndex, IndexPartial
 from ..core.object_filter import ObjectFilter
 from ..core.similarity import DogmatixSimilarity
 from ..engine import ExecutionPolicy, ShardedPairSource
@@ -117,7 +117,16 @@ class DetectionSession:
     real_world_type:
         The candidate type to deduplicate.
     config:
-        All DogmatiX knobs; defaults to the paper configuration.
+        All DogmatiX knobs; defaults to the paper configuration.  With
+        ``config.execution.ingest_workers > 1`` steps 1-3 and index
+        construction run through the parallel ingest subsystem
+        (:class:`repro.ingest.ParallelIngestor`) — same ODs, same ids,
+        observably identical index.
+    ods / index:
+        Externally prepared candidate set and (optionally) a prebuilt
+        index over exactly those ODs — the handshake the parallel
+        ingestor and the snapshot store use; ``index`` without ``ods``
+        is rejected.
     """
 
     def __init__(
@@ -128,21 +137,36 @@ class DetectionSession:
         config: Optional[DogmatixConfig] = None,
         *,
         ods: Optional[Sequence[ObjectDescription]] = None,
+        index: Optional[CorpusIndex] = None,
     ) -> None:
+        if index is not None and ods is None:
+            raise ValueError("a prebuilt index requires the ods it describes")
         self.corpus = corpus if isinstance(corpus, Corpus) else Corpus(corpus)
         self.mapping = mapping
         self.real_world_type = real_world_type
         self.config = config or DogmatixConfig()
-        self._ods: list[ObjectDescription] = (
-            list(ods)
-            if ods is not None
-            else self.corpus.generate_ods(mapping, real_world_type, self.config)
-        )
+        if ods is not None:
+            self._ods: list[ObjectDescription] = list(ods)
+        elif self.config.execution.ingest_workers > 1:
+            from ..ingest.builder import ParallelIngestor
+
+            ingestor = ParallelIngestor(self.config.execution.ingest_workers)
+            self._ods, index = ingestor.build(
+                self.corpus, mapping, real_world_type, self.config
+            )
+        else:
+            self._ods = self.corpus.generate_ods(
+                mapping, real_world_type, self.config
+            )
         self._by_id: dict[int, ObjectDescription] = {
             od.object_id: od for od in self._ods
         }
         self._indexed_ids = frozenset(self._by_id)
-        self._index = CorpusIndex(self._ods, mapping, self.config.theta_tuple)
+        self._index = (
+            index
+            if index is not None
+            else CorpusIndex(self._ods, mapping, self.config.theta_tuple)
+        )
         self._similarity = DogmatixSimilarity(
             self._index, semantics=self.config.similar_semantics
         )
@@ -183,7 +207,7 @@ class DetectionSession:
     # ------------------------------------------------------------------
     @property
     def ods(self) -> Sequence[ObjectDescription]:
-        """The indexed candidate set (excluding incremental extensions)."""
+        """The indexed candidate set (including ``extend()``-ed objects)."""
         return tuple(self._ods)
 
     @property
@@ -503,17 +527,17 @@ class DetectionSession:
         grow with the number of clusters, not with corpus size.  The
         first call seeds the stream with the session's existing
         candidate set, so extension clusters are consistent with the
-        corpus.  The standing index (and with it the softIDF statistics
-        the similarity uses) remains a snapshot of the session's
-        construction-time corpus; rebuild a session to re-anchor it.
+        corpus.
+
+        The standing index grows with every call: an
+        :class:`~repro.core.index.IndexPartial` over the new ODs is
+        delta-merged into it *before* any comparison, so the softIDF
+        statistics, similar-value groups, and blocking view cover the
+        extension — subsequent :meth:`match` and :meth:`detect` calls
+        see the extended objects exactly as a session rebuilt over the
+        grown corpus would (bit-identical results; pinned by
+        ``tests/test_ingest_merge.py``).
         """
-        if self._incremental is None:
-            self._incremental = IncrementalDeduplicator(
-                self._similarity,
-                self.config.theta_cand,
-                check_members_on_miss=check_members_on_miss,
-            )
-            self._incremental.add_all(self._ods)
         added_source = self.corpus.add_source(source)
         new_ods = self.corpus.generate_ods(
             self.mapping,
@@ -523,6 +547,22 @@ class DetectionSession:
             next_id=self._next_id,
         )
         self._next_id += len(new_ods)
+        # Delta-merge the index first: clustering (and every later
+        # query) scores against statistics that include the new data,
+        # like a fresh build over the grown corpus would.
+        self._index.merge_partial(
+            IndexPartial.from_ods(new_ods, self.mapping, q=self._index.q)
+        )
+        self._kept_ids = None  # filter outcomes depend on the index
+        if self._incremental is None:
+            self._incremental = IncrementalDeduplicator(
+                self._similarity,
+                self.config.theta_cand,
+                check_members_on_miss=check_members_on_miss,
+            )
+            self._incremental.add_all(self._ods)
+        self._ods.extend(new_ods)
+        self._indexed_ids |= frozenset(od.object_id for od in new_ods)
         assignments: list[tuple[int, int]] = []
         for od in new_ods:
             self._by_id[od.object_id] = od

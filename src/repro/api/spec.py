@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional
 
 from ..core import DogmatixConfig, Source
@@ -57,6 +57,11 @@ class RunSpec:
         ``filter_in_workers`` additionally evaluates the object filter
         inside the workers (shard backend only — setting it with no
         explicit backend selects ``shard``, mirroring the CLI flag).
+    ingest_workers:
+        Worker processes for corpus *construction* (document parsing,
+        OD generation, index building — see :mod:`repro.ingest`);
+        ``0`` means all cores, ``1`` (default) builds in the parent.
+        Independent of the detection backend; results are identical.
     """
 
     documents: list[str]
@@ -77,6 +82,7 @@ class RunSpec:
     backend: Optional[str] = None
     shard_by: str = "block"
     filter_in_workers: bool = False
+    ingest_workers: int = 1
 
     def __post_init__(self) -> None:
         if not self.documents:
@@ -109,6 +115,10 @@ class RunSpec:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.ingest_workers < 0:
+            raise ValueError(
+                f"ingest_workers must be >= 0, got {self.ingest_workers}"
+            )
 
     # ------------------------------------------------------------------
     # Config / policy
@@ -124,12 +134,16 @@ class RunSpec:
         indistinguishable from "unset", so plain block sharding needs
         ``backend="shard"`` spelled out.)
         """
+        ingest = self.ingest_workers or (os.cpu_count() or 1)
         if (
             self.backend is None
             and self.shard_by == "block"
             and not self.filter_in_workers
         ):
-            return ExecutionPolicy.for_workers(self.workers, self.batch_size)
+            policy = ExecutionPolicy.for_workers(self.workers, self.batch_size)
+            if ingest != policy.ingest_workers:
+                policy = replace(policy, ingest_workers=ingest)
+            return policy
         workers = self.workers or (os.cpu_count() or 1)
         return ExecutionPolicy(
             workers=workers,
@@ -137,6 +151,7 @@ class RunSpec:
             backend=self.backend or "shard",
             shard_by=self.shard_by,
             filter_in_workers=self.filter_in_workers,
+            ingest_workers=ingest,
         )
 
     def to_config(self) -> DogmatixConfig:
@@ -210,14 +225,32 @@ class RunSpec:
             return mapping_from_xml(handle.read())
 
     def build_session(self):
-        """A ready :class:`~repro.api.session.DetectionSession`."""
+        """A ready :class:`~repro.api.session.DetectionSession`.
+
+        With ``ingest_workers`` > 1 construction routes through
+        :class:`repro.ingest.ParallelIngestor`, which also parses the
+        documents inside the pool — the session is identical either
+        way.
+        """
         from .session import DetectionSession
 
+        config = self.to_config()
+        if config.execution.ingest_workers > 1:
+            from ..ingest import ParallelIngestor
+
+            ingestor = ParallelIngestor(config.execution.ingest_workers)
+            return ingestor.build_session(
+                self.documents,
+                self.load_mapping(),
+                self.real_world_type,
+                config,
+                schemas=[parse_schema_file(path) for path in self.schemas],
+            )
         return DetectionSession(
             self.load_sources(),
             self.load_mapping(),
             self.real_world_type,
-            self.to_config(),
+            config,
         )
 
 

@@ -1,20 +1,26 @@
 """Command-line interface.
 
     python -m repro.cli dedup DOCUMENT... --mapping MAPPING.xml --type T
-    python -m repro.cli dedup --spec run.json
+    python -m repro.cli dedup --spec run.json [--store DIR]
     python -m repro.cli match --spec run.json --object-id N
+    python -m repro.cli index build --spec run.json --store DIR
+    python -m repro.cli index list --store DIR
     python -m repro.cli suggest DOCUMENT [--schema SCHEMA.xsd]
     python -m repro.cli example [--write DIR]
 
 ``dedup`` runs a detection session over one or more XML documents and
 writes the Fig. 3 dupcluster document; ``match`` looks up the duplicate
 partners of a single object against the session's standing index;
+``index build`` runs corpus construction once and saves a versioned,
+content-addressed snapshot that later ``dedup``/``match`` invocations
+warm-start from via ``--store`` (``index list`` catalogs a store);
 ``suggest`` ranks candidate element types of a document's (inferred or
 given) schema; ``example`` replays the paper's running example (or,
 with ``--write``, emits it as files plus a ready ``run.json`` spec).
 
 ``--spec`` loads a serialized :class:`repro.api.RunSpec`; explicit
-flags override the spec's fields.
+flags override the spec's fields.  ``--ingest-workers N`` builds the
+corpus (parsing, OD generation, indexing) across N processes.
 """
 
 from __future__ import annotations
@@ -115,6 +121,19 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "parent-side pass of step 4; results stay "
                              "bit-identical, including pruned-object "
                              "order")
+    parser.add_argument("--ingest-workers",
+                        type=_bounded_int(0, "ingest workers"),
+                        default=None,
+                        help="worker processes for corpus construction "
+                             "(parsing, OD generation, index build): "
+                             "each worker builds a partial index the "
+                             "parent merges; 1 = build in the parent, "
+                             "0 = all cores; results are identical")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="index snapshot store: load a warm "
+                             "content-addressed snapshot of this run's "
+                             "corpus if one exists, else build and "
+                             "save one (see the 'index' subcommand)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +168,30 @@ def build_parser() -> argparse.ArgumentParser:
     suggest.add_argument("document")
     suggest.add_argument("--schema", help="XSD file (else inferred)")
     suggest.add_argument("--limit", type=int, default=5)
+
+    index = commands.add_parser(
+        "index",
+        help="build, persist, and inspect index snapshots",
+        description="Index snapshot management: 'index build' runs "
+                    "corpus construction (steps 1-3 + index) for a run "
+                    "spec and saves a versioned, content-addressed "
+                    "snapshot; 'index list' catalogs a store. "
+                    "'dedup'/'match' warm-start from the same store "
+                    "via their --store flag.",
+    )
+    index_actions = index.add_subparsers(dest="index_action", required=True)
+    index_build = index_actions.add_parser(
+        "build", help="build a session and save its snapshot"
+    )
+    _add_run_arguments(index_build)
+    index_build.add_argument("--force", action="store_true",
+                             help="rebuild and overwrite even if a "
+                                  "snapshot for this corpus exists")
+    index_list = index_actions.add_parser(
+        "list", help="list the snapshots of a store"
+    )
+    index_list.add_argument("--store", metavar="DIR", required=True,
+                            help="index snapshot store directory")
 
     example = commands.add_parser(
         "example", help="run the paper's running example"
@@ -221,6 +264,8 @@ def _spec_from_args(
             # silently demote it to parent-side enumeration)
     if args.batch_size is not None:
         spec.batch_size = args.batch_size
+    if args.ingest_workers is not None:
+        spec.ingest_workers = args.ingest_workers
     if args.shard_by is not None:
         spec.shard_by = args.shard_by
         spec.backend = "shard"  # sharded generation needs the shard backend
@@ -239,9 +284,34 @@ def _spec_from_args(
     return spec
 
 
+def _session_for_spec(spec: RunSpec, store_dir: Optional[str]):
+    """Build a session — through the snapshot store when one is given.
+
+    With ``--store``: load the warm snapshot whose content key matches
+    the spec's corpus, or build cold and save one for next time.
+    """
+    if store_dir is None:
+        return spec.build_session()
+    from .ingest import IndexStore
+
+    store = IndexStore(store_dir)
+    digest = store.key_for(spec)  # one corpus hash, reused throughout
+    session = store.load(spec, digest=digest)
+    if session is not None:
+        print(
+            f"warm start: loaded snapshot {digest[:12]} from {store_dir}",
+            file=sys.stderr,
+        )
+        return session
+    session = spec.build_session()
+    store.save(spec, session, digest=digest)
+    print(f"saved index snapshot {digest[:12]} to {store_dir}", file=sys.stderr)
+    return session
+
+
 def _command_dedup(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     spec = _spec_from_args(args, parser)
-    session = spec.build_session()
+    session = _session_for_spec(spec, args.store)
     result = session.detect()
     print(result.summary(), file=sys.stderr)
 
@@ -272,7 +342,7 @@ def _command_match(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     if (args.object_id is None) == (args.path is None):
         parser.error("match needs exactly one of --object-id or --path")
     spec = _spec_from_args(args, parser)
-    session = spec.build_session()
+    session = _session_for_spec(spec, args.store)
 
     if args.object_id is not None:
         if args.object_id >= len(session.ods):
@@ -299,6 +369,47 @@ def _command_match(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     )
     for found in matches:
         print(f"{found.path}\t{found.similarity:.4f}")
+    return 0
+
+
+def _command_index(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from .ingest import IndexStore
+
+    if args.index_action == "list":
+        store = IndexStore(args.store)
+        snapshots = store.list()
+        if not snapshots:
+            print("store is empty", file=sys.stderr)
+            return 0
+        for info in snapshots:
+            print(
+                f"{info.digest[:12]}  {info.real_world_type:<12} "
+                f"{info.objects:>7} objects  {info.sources:>3} source(s)"
+            )
+        return 0
+
+    # index build
+    if not args.store:
+        parser.error("index build requires --store DIR")
+    spec = _spec_from_args(args, parser)
+    store = IndexStore(args.store)
+    digest = store.key_for(spec)  # one corpus hash, reused throughout
+    if not args.force and store.contains(spec, digest=digest):
+        print(
+            f"snapshot {digest[:12]} already covers this corpus "
+            "(use --force to rebuild)",
+            file=sys.stderr,
+        )
+        print(digest)
+        return 0
+    session = spec.build_session()
+    store.save(spec, session, digest=digest)
+    print(
+        f"built {len(session.ods)} object descriptions; "
+        f"snapshot saved to {args.store}",
+        file=sys.stderr,
+    )
+    print(digest)
     return 0
 
 
@@ -388,6 +499,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_dedup(args, parser)
     if args.command == "match":
         return _command_match(args, parser)
+    if args.command == "index":
+        return _command_index(args, parser)
     if args.command == "suggest":
         return _command_suggest(args)
     return _command_example(args)

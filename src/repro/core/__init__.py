@@ -28,7 +28,7 @@ from .heuristics import (
     h_or,
     relative_xpath,
 )
-from .index import CorpusIndex
+from .index import CorpusIndex, IndexPartial
 from .matching import TupleMatching, match_tuples, similar_pairs_exist
 from .object_filter import FilterDecision, ObjectFilter
 from .odtdist import odt_dist, odt_similar
@@ -50,6 +50,7 @@ __all__ = [
     "DogmatixSimilarity",
     "FilterDecision",
     "Heuristic",
+    "IndexPartial",
     "KClosestDescendants",
     "ObjectFilter",
     "RDistantAncestors",

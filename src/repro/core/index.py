@@ -22,10 +22,113 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..framework import ObjectDescription, TypeMapping
 from ..strings import QGramIndex
+
+
+@dataclass
+class IndexPartial:
+    """The mergeable state of a :class:`CorpusIndex` over an OD subset.
+
+    A partial is what one ingest worker builds for its partition of the
+    corpus: occurrence sets, per-kind object sets, and per-kind q-gram
+    value indexes.  Partials are picklable and :meth:`merge` is
+    associative and commutative up to observable index behavior
+    (occurrence/soft-IDF counts and similar-value *sets* are exactly
+    those of a serial build over the union; only internal value
+    insertion order can differ — pinned by the merge-associativity fuzz
+    suite in ``tests/test_ingest_merge.py``).  The same structure is
+    the delta :meth:`CorpusIndex.merge_partial` folds into a *live*
+    index for incremental ingestion.
+
+    The object ids of the merged partials must be pairwise disjoint
+    (each object described by exactly one partial) — the same contract
+    a serial build gets from unique candidate ids.
+    """
+
+    total_objects: int = 0
+    occurrences: dict[tuple[str, str], set[int]] = field(default_factory=dict)
+    objects_by_key: dict[str, set[int]] = field(default_factory=dict)
+    value_indexes: dict[str, QGramIndex] = field(default_factory=dict)
+    q: int = 2
+
+    @classmethod
+    def from_ods(
+        cls,
+        ods: Sequence[ObjectDescription],
+        mapping: TypeMapping,
+        q: int = 2,
+    ) -> "IndexPartial":
+        """Index one OD partition (the loop of a serial index build)."""
+        partial = cls(total_objects=len(ods), q=q)
+        occurrences = partial.occurrences
+        objects_by_key = partial.objects_by_key
+        value_indexes = partial.value_indexes
+        for od in ods:
+            for odt in od.tuples:
+                key = mapping.comparison_key(odt.name)
+                term = (key, odt.value)
+                found = occurrences.get(term)
+                if found is None:
+                    found = occurrences[term] = set()
+                found.add(od.object_id)
+                by_key = objects_by_key.get(key)
+                if by_key is None:
+                    by_key = objects_by_key[key] = set()
+                by_key.add(od.object_id)
+                index = value_indexes.get(key)
+                if index is None:
+                    index = value_indexes[key] = QGramIndex(q=q)
+                index.add(odt.value)
+        return partial
+
+    def merge(self, other: "IndexPartial") -> "IndexPartial":
+        """Fold another partial into this one (in place); returns self."""
+        if other.q != self.q:
+            raise ValueError(
+                f"cannot merge a q={other.q} partial into a q={self.q} partial"
+            )
+        self.total_objects += other.total_objects
+        _fold_term_state(
+            self.occurrences, self.objects_by_key, self.value_indexes, other
+        )
+        return self
+
+
+def _fold_term_state(
+    occurrences: dict[tuple[str, str], set[int]],
+    objects_by_key: dict[str, set[int]],
+    value_indexes: dict[str, QGramIndex],
+    other: IndexPartial,
+) -> None:
+    """Fold a partial's term state into target mappings.
+
+    The one merge implementation behind both :meth:`IndexPartial.merge`
+    and :meth:`CorpusIndex.merge_partial` — the subtle part of the
+    algebra (set unions plus gram-counter grafting) must not exist
+    twice.  The incoming partial's sets are copied, never aliased, so
+    later folds into the target cannot mutate ``other``.
+    """
+    for term, ids in other.occurrences.items():
+        found = occurrences.get(term)
+        if found is None:
+            occurrences[term] = set(ids)
+        else:
+            found |= ids
+    for key, ids in other.objects_by_key.items():
+        by_key = objects_by_key.get(key)
+        if by_key is None:
+            objects_by_key[key] = set(ids)
+        else:
+            by_key |= ids
+    for key, value_index in other.value_indexes.items():
+        index = value_indexes.get(key)
+        if index is None:
+            index = value_indexes[key] = QGramIndex(q=value_index.q)
+        index.merge_from(value_index)
 
 
 class CorpusIndex:
@@ -42,28 +145,69 @@ class CorpusIndex:
             raise ValueError(f"theta_tuple must be in [0, 1], got {theta_tuple}")
         self.mapping = mapping
         self.theta_tuple = theta_tuple
-        self.total_objects = len(ods)
+        self.total_objects = 0
         #: (key, value) -> object ids containing that term
         self._occurrences: dict[tuple[str, str], set[int]] = defaultdict(set)
         #: key -> q-gram index over the distinct values of that kind
         self._value_indexes: dict[str, QGramIndex] = {}
         #: key -> set of object ids having any tuple of that kind
         self._objects_by_key: dict[str, set[int]] = defaultdict(set)
-        self._q = q
+        self.q = q
         #: (key, value) -> memoized similar value group
         self._similar_cache: dict[tuple[str, str], list[str]] = {}
         #: memoized softIDF values (terms repeat across the O(n²) pairs)
         self._pair_idf_cache: dict[tuple[str, str, str, str], float] = {}
 
-        for od in ods:
-            for odt in od.tuples:
-                key = mapping.comparison_key(odt.name)
-                self._occurrences[(key, odt.value)].add(od.object_id)
-                self._objects_by_key[key].add(od.object_id)
-                index = self._value_indexes.get(key)
-                if index is None:
-                    index = self._value_indexes[key] = QGramIndex(q=q)
-                index.add(odt.value)
+        # One tuple-scan implementation for every construction path:
+        # the serial build is the single-partial case of the merge, so
+        # serial/parallel/delta parity holds by construction.
+        if ods:
+            self.merge_partial(IndexPartial.from_ods(ods, mapping, q=q))
+
+    # ------------------------------------------------------------------
+    # Mergeable construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partial(
+        cls,
+        partial: IndexPartial,
+        mapping: TypeMapping,
+        theta_tuple: float,
+    ) -> "CorpusIndex":
+        """Index built from a (merged) partial instead of an OD scan.
+
+        Observably identical to ``CorpusIndex(ods, ...)`` over the same
+        objects: occurrence sets, per-kind object sets, and the
+        distinct-value sets behind similar-value search are exactly the
+        serial build's, whatever partition and merge order produced
+        ``partial``.
+        """
+        index = cls((), mapping, theta_tuple, q=partial.q)
+        index.merge_partial(partial)
+        return index
+
+    def merge_partial(self, partial: IndexPartial) -> None:
+        """Fold a partition's index state into this live index.
+
+        This is the delta-ingestion seam: ``DetectionSession.extend``
+        builds an :class:`IndexPartial` over the new source's ODs and
+        merges it here, so the standing index (occurrence counts,
+        soft-IDF statistics, similar-value groups, blocking view) grows
+        to cover the extension instead of staying a snapshot of
+        construction time.  The memoized similar-value groups and pair
+        soft-IDF values are invalidated — both depend on corpus-wide
+        statistics that just changed.
+        """
+        if partial.q != self.q:
+            raise ValueError(
+                f"cannot merge a q={partial.q} partial into a q={self.q} index"
+            )
+        self.total_objects += partial.total_objects
+        _fold_term_state(
+            self._occurrences, self._objects_by_key, self._value_indexes, partial
+        )
+        self._similar_cache.clear()
+        self._pair_idf_cache.clear()
 
     # ------------------------------------------------------------------
     # Terms and occurrences

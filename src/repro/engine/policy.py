@@ -83,6 +83,15 @@ class ExecutionPolicy:
         ``pruned_object_ids`` order).  Requires ``backend="shard"``:
         the serial and process backends enumerate in the parent, where
         a "worker-side" filter has no meaning.
+    ingest_workers:
+        Worker processes for *corpus construction* (pipeline steps 1-3
+        plus index building; see :mod:`repro.ingest`): sources are
+        parsed and object descriptions generated across a pool, each
+        worker building a partial corpus index the parent merges.
+        Independent of ``backend`` — ingestion runs before any pair is
+        generated, so a serial detection backend may still ingest in
+        parallel and vice versa.  ``1`` (the default) builds in the
+        parent; results are identical either way.
     """
 
     workers: int = 1
@@ -90,6 +99,7 @@ class ExecutionPolicy:
     backend: str = "serial"
     shard_by: str = "block"
     filter_in_workers: bool = False
+    ingest_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -109,6 +119,10 @@ class ExecutionPolicy:
                 f"workers={self.workers} with backend='serial' would run "
                 "single-process anyway; use backend='process' or "
                 "ExecutionPolicy.for_workers()"
+            )
+        if self.ingest_workers < 1:
+            raise ValueError(
+                f"ingest_workers must be >= 1, got {self.ingest_workers}"
             )
         if self.filter_in_workers and self.backend != "shard":
             raise ValueError(

@@ -18,7 +18,7 @@ legitimately per-cell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..api import Corpus, DetectionSession
@@ -56,8 +56,14 @@ def session_for(
     theta_cand: float = 0.55,
     policy: ExecutionPolicy | None = None,
     use_object_filter: bool = False,
+    ingest_workers: int = 1,
 ) -> DetectionSession:
-    """A prepared session for one (dataset, heuristic, experiment) cell."""
+    """A prepared session for one (dataset, heuristic, experiment) cell.
+
+    ``ingest_workers`` > 1 builds the session (OD generation + index)
+    through the parallel ingest subsystem — identical session, faster
+    construction on multi-core hosts.
+    """
     config = experiment.config(
         heuristic,
         theta_tuple=theta_tuple,
@@ -66,12 +72,108 @@ def session_for(
     )
     if policy is not None:
         config.execution = policy
+    if ingest_workers != 1:
+        config.execution = replace(
+            config.execution, ingest_workers=ingest_workers
+        )
     return DetectionSession(
         Corpus(dataset.sources),
         dataset.mapping,
         dataset.real_world_type,
         config,
     )
+
+
+@dataclass
+class IngestRun:
+    """One corpus-construction mode's outcome in an ingest comparison."""
+
+    mode: str          #: ``"serial"`` or ``"parallel(N)"``
+    seconds: float
+    candidates: int
+    #: Same ODs (ids, tuples, element paths) and index statistics as
+    #: the serial reference build.
+    identical: bool
+    #: Bit-identical ``detect()`` result (only evaluated when the
+    #: comparison runs with ``verify_detect=True``).
+    detect_identical: bool | None = None
+
+
+def same_build(reference: DetectionSession, other: DetectionSession) -> bool:
+    """Serial-parity notion for corpus construction.
+
+    Equal candidate sets — ids, OD tuples, and element paths — and
+    equal index statistics.  (Pair-level parity is
+    :meth:`~repro.framework.result.DetectionResult.identical_to`,
+    checked separately because it costs a full detection run.)
+    """
+    if len(reference.ods) != len(other.ods):
+        return False
+    for left, right in zip(reference.ods, other.ods):
+        if left.object_id != right.object_id or left.tuples != right.tuples:
+            return False
+        left_path = left.element.absolute_path() if left.element else None
+        right_path = right.element.absolute_path() if right.element else None
+        if left_path != right_path:
+            return False
+    return reference.index.statistics() == other.index.statistics()
+
+
+def compare_ingest_builds(
+    dataset: Dataset,
+    workers: int,
+    heuristic: Heuristic | None = None,
+    experiment: Experiment | None = None,
+    theta_tuple: float = 0.15,
+    theta_cand: float = 0.55,
+    verify_detect: bool = False,
+) -> list[IngestRun]:
+    """Build one sweep cell serially and through the parallel ingestor.
+
+    The first run (serial) is the reference; the parallel build must
+    produce the same ODs and index statistics — and, with
+    ``verify_detect``, a bit-identical ``DetectionResult``.  Used by
+    ``benchmarks/bench_ingest.py`` and the ingest parity tests.
+    """
+    import time
+
+    runs: list[IngestRun] = []
+    reference: DetectionSession | None = None
+    reference_result = None
+    for mode, ingest_workers in (("serial", 1), (f"parallel({workers})", workers)):
+        started = time.perf_counter()
+        session = session_for(
+            dataset,
+            heuristic or KClosestDescendants(6),
+            experiment or EXPERIMENTS[0],
+            theta_tuple=theta_tuple,
+            theta_cand=theta_cand,
+            ingest_workers=ingest_workers,
+        )
+        elapsed = time.perf_counter() - started
+        if reference is None:
+            reference = session
+            identical = True
+            detect_identical = True if verify_detect else None
+            if verify_detect:
+                reference_result = session.detect()
+        else:
+            identical = same_build(reference, session)
+            detect_identical = (
+                session.detect().identical_to(reference_result)
+                if verify_detect
+                else None
+            )
+        runs.append(
+            IngestRun(
+                mode=mode,
+                seconds=elapsed,
+                candidates=len(session.ods),
+                identical=identical,
+                detect_identical=detect_identical,
+            )
+        )
+    return runs
 
 
 def run_experiment(

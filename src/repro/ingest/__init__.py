@@ -1,0 +1,35 @@
+"""ingest: parallel, mergeable corpus construction and persistent
+index snapshots.
+
+Pipeline steps 1-3 (candidate selection, description selection, OD
+generation) plus corpus-index construction were the last parent-only
+phases of the system — PRs 1/3/4 moved classification, pair generation,
+and the object filter into workers.  This package closes the gap and
+adds the first piece of cross-run state:
+
+* :class:`ParallelIngestor` — partitions sources and candidate objects
+  across a process pool; each worker parses, selects descriptions,
+  generates ODs, and builds a *partial* corpus index
+  (:class:`~repro.core.index.IndexPartial`) that the parent merges
+  associatively into an index observably identical to the serial
+  build;
+* :class:`IndexStore` — a versioned, content-addressed on-disk
+  snapshot store so sessions warm-start across CLI invocations and
+  serving processes instead of rebuilding steps 1-3 per process.
+
+Delta ingestion (merging a new source's partial into a *live* session
+index) rides on the same :class:`~repro.core.index.IndexPartial`
+algebra — see :meth:`repro.api.DetectionSession.extend`.
+"""
+
+from .builder import CHUNK_FACTOR, IngestReport, ParallelIngestor
+from .store import FORMAT_VERSION, IndexStore, SnapshotInfo
+
+__all__ = [
+    "CHUNK_FACTOR",
+    "FORMAT_VERSION",
+    "IndexStore",
+    "IngestReport",
+    "ParallelIngestor",
+    "SnapshotInfo",
+]

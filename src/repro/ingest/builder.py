@@ -1,0 +1,424 @@
+"""Parallel corpus construction with mergeable partial indexes.
+
+The serial reference is :meth:`repro.api.Corpus.generate_ods` followed
+by a :class:`~repro.core.index.CorpusIndex` build: for every candidate
+XPath (sorted) and source (insertion order), infer/resolve the schema,
+select a description, generate one OD per candidate element, then scan
+all ODs into the index.  At corpus scale the expensive parts are
+document parsing, schema inference, the per-candidate heuristic walks
+of OD generation, and the q-gram counting of index construction — all
+embarrassingly parallel once the work is partitioned.
+
+:class:`ParallelIngestor` partitions in two phases:
+
+1. **Parse** — path-like sources are parsed inside pool workers (one
+   task per file) and the trees shipped back; in-memory sources skip
+   this phase.
+2. **Describe + index** — the parent enumerates candidate elements per
+   ``(xpath, source)`` unit (a cheap tree walk that also fixes the
+   *serial* object-id order and keeps the parent's elements for the
+   results), then fans out contiguous candidate chunks.  Each worker
+   resolves the source schema (inferred once per worker, memoized),
+   selects the description, generates its chunk's ODs, and builds an
+   :class:`~repro.core.index.IndexPartial` over them.  The parent
+   re-attaches its own elements to the returned OD tuples and merges
+   the partials associatively into the final index.
+
+Each worker receives the whole (pre-pickled) corpus once via the pool
+initializer: unpickling a tree is far cheaper than re-parsing it with
+the pure-Python parser, and any chunk of any source can then be
+scheduled on any worker.  The payload therefore scales with
+``corpus × workers`` in memory — per-worker source subsetting (and
+with it cross-machine distribution) is the natural next step on top of
+the same partial-merge algebra; see ROADMAP.md.
+
+Object ids are assigned before fan-out, so worker output needs no
+renumbering and the merged index is observably identical to the serial
+build (same occurrence sets, soft-IDF statistics, similar-value groups,
+blocking view) — pinned by ``tests/test_ingest_parallel.py`` and the
+merge-associativity fuzz suite.  With one worker, an empty candidate
+set, or an unpicklable payload (e.g. a closure-based condition) the
+build falls back to the serial reference path and records why in
+:attr:`ParallelIngestor.last_report`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..core import DogmatixConfig, IndexPartial, Source
+from ..core.index import CorpusIndex
+from ..core.selection import DescriptionSelector
+from ..framework import ObjectDescription, TypeMapping
+from ..framework.description import DescriptionDefinition
+from ..xmlkit import (
+    Document,
+    Element,
+    Schema,
+    compile_path,
+    infer_schema,
+    parse_file,
+)
+
+PathLike = Union[str, os.PathLike]
+
+#: Candidate chunks per worker: oversubscription lets ``imap`` balance
+#: sources and xpaths with uneven candidate counts dynamically.
+CHUNK_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`ParallelIngestor.build` actually did."""
+
+    backend: str  #: ``"parallel"`` or ``"serial"`` (the fallback).
+    workers: int
+    sources: int
+    candidates: int
+    #: Number of path-like sources parsed inside pool workers.
+    parsed_in_workers: int = 0
+    #: Why the build fell back to the serial path, if it did.
+    reason: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Worker-process state (documents + selector shipped once per worker)
+# ----------------------------------------------------------------------
+_INGEST_STATE: dict[str, object] = {}
+
+
+def _init_ingest_worker(payload: bytes) -> None:
+    """Install one pre-pickled corpus payload as this worker's state.
+
+    The parent pickles ``(sources, mapping, selector, include_empty,
+    q)`` exactly once and ships the bytes — serializing here instead of
+    via initargs keeps the cost one ``dumps`` regardless of start
+    method and turns any pickling problem into the parent-side serial
+    fallback rather than a pool-initializer crash loop.
+    """
+    sources, mapping, selector, include_empty, q = pickle.loads(payload)
+    _INGEST_STATE["sources"] = sources
+    _INGEST_STATE["mapping"] = mapping
+    _INGEST_STATE["selector"] = selector
+    _INGEST_STATE["include_empty"] = include_empty
+    _INGEST_STATE["q"] = q
+    _INGEST_STATE["schemas"] = {}
+    _INGEST_STATE["descriptions"] = {}
+    _INGEST_STATE["candidates"] = {}
+
+
+def _worker_schema(source_index: int) -> Schema:
+    """The source's schema — given, or inferred once per worker."""
+    schemas: dict[int, Schema] = _INGEST_STATE["schemas"]  # type: ignore[assignment]
+    schema = schemas.get(source_index)
+    if schema is None:
+        source: Source = _INGEST_STATE["sources"][source_index]  # type: ignore[index]
+        schema = source.schema or infer_schema(source.document)
+        schemas[source_index] = schema
+    return schema
+
+
+def _worker_candidates(source_index: int, xpath: str) -> list[Element]:
+    """Candidate elements of one ``(source, xpath)`` unit (memoized)."""
+    memo: dict[tuple[int, str], list[Element]] = _INGEST_STATE["candidates"]  # type: ignore[assignment]
+    found = memo.get((source_index, xpath))
+    if found is None:
+        source: Source = _INGEST_STATE["sources"][source_index]  # type: ignore[index]
+        found = compile_path(xpath).select(source.document)
+        memo[(source_index, xpath)] = found
+    return found
+
+
+def _worker_description(source_index: int, xpath: str) -> DescriptionDefinition:
+    """The unit's description definition σ' (memoized per unit)."""
+    memo: dict[tuple[int, str], DescriptionDefinition] = _INGEST_STATE["descriptions"]  # type: ignore[assignment]
+    description = memo.get((source_index, xpath))
+    if description is None:
+        declaration = _worker_schema(source_index).get(xpath)
+        if declaration is None:  # the parent only tasks declared units
+            raise RuntimeError(
+                f"ingest worker found no schema declaration for {xpath!r} "
+                f"in source {source_index} — parent/worker schema drift"
+            )
+        selector: DescriptionSelector = _INGEST_STATE["selector"]  # type: ignore[assignment]
+        description = selector.description_definition(
+            declaration, include_empty=bool(_INGEST_STATE["include_empty"])
+        )
+        memo[(source_index, xpath)] = description
+    return description
+
+
+#: One fan-out task: (source index, xpath, start, stop, first object id).
+IngestTask = tuple[int, str, int, int, int]
+
+
+def _ingest_chunk(
+    task: IngestTask,
+) -> tuple[list[tuple[int, tuple]], IndexPartial]:
+    """Steps 2+3 plus partial indexing for one candidate chunk.
+
+    Returns the generated ODs as ``(object_id, tuples)`` pairs —
+    elements stay in the worker; the parent re-attaches its own — and
+    the chunk's :class:`IndexPartial`.
+    """
+    source_index, xpath, start, stop, first_id = task
+    description = _worker_description(source_index, xpath)
+    elements = _worker_candidates(source_index, xpath)[start:stop]
+    ods = [
+        description.generate_od(first_id + offset, element)
+        for offset, element in enumerate(elements)
+    ]
+    partial = IndexPartial.from_ods(
+        ods,
+        _INGEST_STATE["mapping"],  # type: ignore[arg-type]
+        q=int(_INGEST_STATE["q"]),  # type: ignore[arg-type]
+    )
+    return [(od.object_id, od.tuples) for od in ods], partial
+
+
+def _parse_source_file(path: PathLike) -> Document:
+    return parse_file(path)
+
+
+class ParallelIngestor:
+    """Builds ``(ods, index)`` for a corpus, in parallel when possible.
+
+    Parameters
+    ----------
+    workers:
+        Pool processes for parsing and description/index construction;
+        ``0`` means all cores, ``1`` is the serial reference path.
+    chunk_factor:
+        Candidate chunks per worker (scheduling knob only — results
+        are invariant under the chunking).
+    """
+
+    def __init__(self, workers: int = 0, chunk_factor: int = CHUNK_FACTOR) -> None:
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_factor < 1:
+            raise ValueError(f"chunk_factor must be >= 1, got {chunk_factor}")
+        self.workers = workers
+        self.chunk_factor = chunk_factor
+        #: Populated by :meth:`build` / :meth:`parse_sources`.
+        self.last_report: Optional[IngestReport] = None
+        self._parsed_in_workers = 0
+
+    # ------------------------------------------------------------------
+    # Phase 1: parsing
+    # ------------------------------------------------------------------
+    def parse_sources(
+        self,
+        documents: Sequence[Union[PathLike, Source, Document, Element]],
+        schemas: Optional[Sequence[Optional[Schema]]] = None,
+    ) -> list[Source]:
+        """Resolve a mixed document list into :class:`Source` records.
+
+        Path-likes are parsed — across the pool when there is more than
+        one path and more than one worker — and paired positionally
+        with ``schemas`` (``None`` entries mean "infer later").
+        In-memory sources pass through unchanged (pairing a schema with
+        a ``Source`` that already carries one is an error, matching
+        :meth:`repro.api.Corpus.add_source`).
+        """
+        schema_list = list(schemas or ())
+        if len(schema_list) > len(documents):
+            raise ValueError(
+                f"got {len(schema_list)} schemas for {len(documents)} "
+                "documents; schemas pair with documents positionally"
+            )
+        path_jobs = [
+            (position, item)
+            for position, item in enumerate(documents)
+            if isinstance(item, (str, os.PathLike))
+        ]
+        parsed: dict[int, Document] = {}
+        self._parsed_in_workers = 0
+        if len(path_jobs) > 1 and self.workers > 1:
+            context = multiprocessing.get_context()
+            with context.Pool(min(self.workers, len(path_jobs))) as pool:
+                trees = pool.map(
+                    _parse_source_file, [path for _, path in path_jobs]
+                )
+            for (position, _), document in zip(path_jobs, trees):
+                parsed[position] = document
+            self._parsed_in_workers = len(path_jobs)
+        else:
+            for position, path in path_jobs:
+                parsed[position] = parse_file(path)
+
+        sources: list[Source] = []
+        for position, item in enumerate(documents):
+            schema = schema_list[position] if position < len(schema_list) else None
+            if isinstance(item, (str, os.PathLike)):
+                sources.append(Source(parsed[position], schema))
+            elif isinstance(item, Source):
+                if schema is not None and item.schema is not None:
+                    raise ValueError(
+                        "source already carries a schema; cannot override it"
+                    )
+                sources.append(
+                    Source(item.document, schema) if schema is not None else item
+                )
+            else:
+                sources.append(Source(item, schema))
+        return sources
+
+    # ------------------------------------------------------------------
+    # Phase 2: describe + index
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        corpus,  # repro.api.Corpus (kept untyped to avoid an import cycle)
+        mapping: TypeMapping,
+        real_world_type: str,
+        config: Optional[DogmatixConfig] = None,
+    ) -> tuple[list[ObjectDescription], CorpusIndex]:
+        """Steps 1-3 plus index construction over ``corpus``.
+
+        Returns ODs in the exact serial order/ids of
+        :meth:`repro.api.Corpus.generate_ods` (elements attached from
+        the parent's own trees) and a :class:`CorpusIndex` merged from
+        the workers' partials.
+        """
+        config = config or DogmatixConfig()
+        parsed_in_workers = self._parsed_in_workers
+        self._parsed_in_workers = 0  # consumed: report this build only
+        if self.workers <= 1:  # before enumerating anything the serial
+            # path would only re-enumerate via generate_ods
+            return self._serial(corpus, mapping, real_world_type, config,
+                                parsed_in_workers, reason=None)
+        sources = list(corpus)
+        units: list[tuple[int, str, list[Element], int]] = []
+        next_id = 0
+        for xpath in sorted(mapping.xpaths_of(real_world_type)):
+            compiled = compile_path(xpath)
+            for source_index, source in enumerate(sources):
+                if source.schema is not None and source.schema.get(xpath) is None:
+                    continue  # declared schemas gate candidates (serial rule)
+                elements = compiled.select(source.document)
+                if not elements:
+                    continue
+                if source.schema is None and any(
+                    element.generic_path() != xpath for element in elements
+                ):
+                    # Pattern xpaths ('//', '*', ...) select elements
+                    # whose concrete generic path differs from the
+                    # xpath string; an inferred schema keys exact paths
+                    # only, so Schema.get(xpath) is None and the serial
+                    # path yields zero candidates for this unit — gate
+                    # identically instead of letting the worker's
+                    # declaration lookup fail.
+                    continue
+                units.append((source_index, xpath, elements, next_id))
+                next_id += len(elements)
+        total = next_id
+
+        if total == 0:
+            return self._serial(corpus, mapping, real_world_type, config,
+                                parsed_in_workers, reason="no candidates")
+        q = IndexPartial().q
+        try:  # one dumps; the bytes are what crosses into the pool
+            payload = pickle.dumps(
+                (tuple(sources), mapping, config.selector,
+                 config.include_empty, q),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            return self._serial(corpus, mapping, real_world_type, config,
+                                parsed_in_workers,
+                                reason="unpicklable ingest payload")
+
+        chunk = max(1, -(-total // (self.workers * self.chunk_factor)))
+        tasks: list[IngestTask] = []
+        for source_index, xpath, elements, first_id in units:
+            for start in range(0, len(elements), chunk):
+                stop = min(start + chunk, len(elements))
+                tasks.append((source_index, xpath, start, stop, first_id + start))
+
+        unit_elements = {
+            (source_index, xpath): elements
+            for source_index, xpath, elements, _ in units
+        }
+        ods: list[ObjectDescription] = []
+        merged = IndexPartial(q=q)
+        context = multiprocessing.get_context()
+        with context.Pool(
+            processes=self.workers,
+            initializer=_init_ingest_worker,
+            initargs=(payload,),
+        ) as pool:
+            # imap keeps results in task (= serial id) order while
+            # letting free workers pull the next chunk.
+            for task, (chunk_ods, partial) in zip(
+                tasks, pool.imap(_ingest_chunk, tasks)
+            ):
+                source_index, xpath, start, stop, _ = task
+                elements = unit_elements[(source_index, xpath)][start:stop]
+                if len(chunk_ods) != len(elements):  # pragma: no cover
+                    raise RuntimeError(
+                        f"ingest worker returned {len(chunk_ods)} ODs for "
+                        f"{len(elements)} candidates of {xpath!r} — "
+                        "parent/worker candidate drift"
+                    )
+                for (object_id, tuples), element in zip(chunk_ods, elements):
+                    ods.append(ObjectDescription(object_id, tuples, element))
+                merged.merge(partial)
+
+        index = CorpusIndex.from_partial(merged, mapping, config.theta_tuple)
+        self.last_report = IngestReport(
+            backend="parallel",
+            workers=self.workers,
+            sources=len(sources),
+            candidates=total,
+            parsed_in_workers=parsed_in_workers,
+        )
+        return ods, index
+
+    def _serial(
+        self,
+        corpus,
+        mapping: TypeMapping,
+        real_world_type: str,
+        config: DogmatixConfig,
+        parsed_in_workers: int,
+        reason: Optional[str],
+    ) -> tuple[list[ObjectDescription], CorpusIndex]:
+        """The serial reference path (also the fallback)."""
+        ods = corpus.generate_ods(mapping, real_world_type, config)
+        index = CorpusIndex(ods, mapping, config.theta_tuple)
+        self.last_report = IngestReport(
+            backend="serial",
+            workers=self.workers,
+            sources=len(corpus),
+            candidates=len(ods),
+            parsed_in_workers=parsed_in_workers,
+            reason=reason,
+        )
+        return ods, index
+
+    # ------------------------------------------------------------------
+    def build_session(
+        self,
+        documents: Sequence[Union[PathLike, Source, Document, Element]],
+        mapping: TypeMapping,
+        real_world_type: str,
+        config: Optional[DogmatixConfig] = None,
+        schemas: Optional[Sequence[Optional[Schema]]] = None,
+    ):
+        """Parse, build, and wrap into a ready ``DetectionSession``."""
+        from ..api.corpus import Corpus
+        from ..api.session import DetectionSession
+
+        config = config or DogmatixConfig()
+        corpus = Corpus(self.parse_sources(documents, schemas))
+        ods, index = self.build(corpus, mapping, real_world_type, config)
+        return DetectionSession(
+            corpus, mapping, real_world_type, config, ods=ods, index=index
+        )

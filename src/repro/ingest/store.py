@@ -1,0 +1,284 @@
+"""IndexStore: versioned, content-addressed index snapshots on disk.
+
+A snapshot freezes the expensive half of session construction — parsed
+documents, schema-driven description selection, and the generated
+object descriptions — so a later process *loads* it instead of redoing
+steps 1-3.  Snapshots are
+
+* **content-addressed**: the snapshot key is a SHA-256 over the build
+  *inputs* — document bytes, schema bytes, mapping bytes, and the
+  OD-relevant configuration (heuristic, conditions, ``include_empty``,
+  ``theta_tuple``) plus the candidate type.  Editing any input changes
+  the key, so a warm lookup can never serve a stale corpus; run-time
+  knobs that do not shape the index (``theta_cand``, execution policy,
+  semantics, filter switches) deliberately stay out of the key and are
+  taken from the *live* spec at load time;
+* **versioned**: every snapshot records ``FORMAT_VERSION``.  Loading
+  treats an unknown version as a cache miss (the caller rebuilds and
+  overwrites), never as an error — the upgrade policy is "bump the
+  version, old snapshots age out"; see ROADMAP.md;
+* **self-contained**: documents are stored serialized inside the
+  snapshot, so a serving process needs only the store, not the
+  original files.
+
+The corpus index itself is *not* stored: it is rebuilt from the stored
+ODs on load — a deterministic linear scan that reproduces the fresh
+build bit for bit, which keeps the snapshot format small and the
+parity argument trivial.  Loaded sessions answer ``detect()`` /
+``match()`` identically to a cold build (``tests/test_ingest_store.py``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..core import Source
+from ..framework import ObjectDescription
+from ..framework.od import ODTuple
+from ..xmlkit import (
+    Document,
+    Element,
+    absolute_path_index,
+    parse,
+    parse_schema,
+    serialize,
+)
+
+#: Snapshot format version.  Bump on any layout change; loaders treat
+#: other versions as a cache miss and rebuild.
+FORMAT_VERSION = 1
+
+_SUFFIX = ".json.gz"
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Catalog entry for one stored snapshot."""
+
+    digest: str
+    path: str
+    real_world_type: str
+    objects: int
+    sources: int
+    created: float
+
+
+class IndexStore:
+    """A directory of content-addressed session snapshots.
+
+    ``save``/``load`` are keyed by a :class:`~repro.api.RunSpec`: the
+    spec names the input files whose *contents* (not paths or mtimes)
+    make up the key, so moving a corpus or touching a file without
+    changing bytes keeps the snapshot warm.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def key_for(self, spec) -> str:
+        """Content digest of everything that shapes ODs and the index."""
+        material = {
+            "format": FORMAT_VERSION,
+            "real_world_type": spec.real_world_type,
+            "theta_tuple": spec.theta_tuple,
+            "heuristic": spec.heuristic,
+            "conditions": spec.conditions,
+            "include_empty": spec.include_empty,
+            "documents": [_file_digest(path) for path in spec.documents],
+            "schemas": [_file_digest(path) for path in spec.schemas],
+            "mapping": _file_digest(spec.mapping),
+        }
+        canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _snapshot_path(self, digest: str) -> Path:
+        return self.root / f"{digest}{_SUFFIX}"
+
+    def contains(self, spec, digest: Optional[str] = None) -> bool:
+        """Whether a snapshot exists for the spec's content key.
+
+        Pass ``digest`` (from :meth:`key_for`) to skip re-hashing the
+        corpus — the key is a content digest over every input file, so
+        callers touching several store methods should compute it once.
+        """
+        digest = digest or self.key_for(spec)
+        return self._snapshot_path(digest).exists()
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save(self, spec, session, digest: Optional[str] = None) -> str:
+        """Snapshot a built session under the spec's content key.
+
+        Returns the digest (``digest`` skips re-hashing, see
+        :meth:`contains`).  The write is atomic (temp file + rename),
+        so concurrent builders racing on the same key leave one intact
+        snapshot rather than a torn file.
+        """
+        digest = digest or self.key_for(spec)
+        sources = list(session.corpus)
+        if len(sources) != len(spec.documents):
+            raise ValueError(
+                f"session corpus holds {len(sources)} sources but the spec "
+                f"names {len(spec.documents)} documents — the content key "
+                "would not cover the difference (extend()-ed sessions "
+                "cannot be snapshotted; save a session built fresh from "
+                "the spec)"
+            )
+        documents = [_as_document(source.document) for source in sources]
+        roots = {id(document.root): index
+                 for index, document in enumerate(documents)}
+        element_paths: list[dict[int, str]] = []
+        for document in documents:
+            element_paths.append({
+                id(element): path
+                for path, element in absolute_path_index(document.root).items()
+            })
+        od_records = []
+        for od in session.ods:
+            record: dict[str, object] = {
+                "id": od.object_id,
+                "tuples": [[odt.value, odt.name] for odt in od.tuples],
+            }
+            if od.element is not None:
+                source_index = roots.get(id(od.element.root))
+                if source_index is None:  # pragma: no cover - defensive
+                    raise ValueError(
+                        f"object {od.object_id} references an element "
+                        "outside the session's corpus; cannot snapshot"
+                    )
+                record["doc"] = source_index
+                record["path"] = element_paths[source_index][id(od.element)]
+            od_records.append(record)
+        schema_texts = [
+            Path(path).read_text(encoding="utf-8") for path in spec.schemas
+        ]
+        schema_texts += [None] * (len(sources) - len(schema_texts))
+        payload = {
+            "format": FORMAT_VERSION,
+            "key": digest,
+            "created": time.time(),
+            "real_world_type": session.real_world_type,
+            "theta_tuple": spec.theta_tuple,
+            "documents": [
+                serialize(document, indent=None) for document in documents
+            ],
+            "schemas": schema_texts,
+            "ods": od_records,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self._snapshot_path(digest)
+        scratch = final.with_suffix(final.suffix + f".tmp{os.getpid()}")
+        with gzip.open(scratch, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(scratch, final)
+        return digest
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(self, spec, digest: Optional[str] = None):
+        """Warm-start a session for ``spec``, or ``None`` on a miss.
+
+        A miss is: no snapshot under the spec's content key, or a
+        snapshot written by another :data:`FORMAT_VERSION` (the version
+        policy — callers rebuild and re-save).  A snapshot that exists
+        in the current format but cannot be decoded raises — that is
+        corruption, not staleness.
+
+        The returned session carries the *live* spec's configuration:
+        only the stored ODs, documents, and schemas are reused, and the
+        index is rebuilt deterministically from the ODs, so the session
+        is bit-identical to one built cold from the same spec.
+        """
+        digest = digest or self.key_for(spec)
+        path = self._snapshot_path(digest)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        if payload.get("format") != FORMAT_VERSION:
+            return None
+        from ..api.corpus import Corpus
+        from ..api.session import DetectionSession
+
+        documents = [parse(text) for text in payload["documents"]]
+        schemas = [
+            parse_schema(text) if text else None for text in payload["schemas"]
+        ]
+        sources = [
+            Source(document, schema)
+            for document, schema in zip(documents, schemas)
+        ]
+        paths = [absolute_path_index(document.root) for document in documents]
+        ods = []
+        for record in payload["ods"]:
+            element = None
+            if "doc" in record:
+                element = paths[record["doc"]][record["path"]]
+            ods.append(
+                ObjectDescription(
+                    record["id"],
+                    tuple(ODTuple(value, name) for value, name in record["tuples"]),
+                    element,
+                )
+            )
+        return DetectionSession(
+            Corpus(sources),
+            spec.load_mapping(),
+            payload["real_world_type"],
+            spec.to_config(),
+            ods=ods,
+        )
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def list(self) -> list[SnapshotInfo]:
+        """All readable current-format snapshots, newest first."""
+        if not self.root.is_dir():
+            return []
+        entries: list[SnapshotInfo] = []
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            try:
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if payload.get("format") != FORMAT_VERSION:
+                continue
+            entries.append(
+                SnapshotInfo(
+                    digest=payload.get("key", path.name[: -len(_SUFFIX)]),
+                    path=str(path),
+                    real_world_type=payload.get("real_world_type", ""),
+                    objects=len(payload.get("ods", ())),
+                    sources=len(payload.get("documents", ())),
+                    created=float(payload.get("created", 0.0)),
+                )
+            )
+        entries.sort(key=lambda info: -info.created)
+        return entries
+
+
+def _as_document(document: Document | Element) -> Document:
+    return document if isinstance(document, Document) else Document(document)
+
+
+def _file_digest(path: str | os.PathLike) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()

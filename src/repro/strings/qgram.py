@@ -95,6 +95,33 @@ class QGramIndex:
         self._by_length[len(value)].append(value_id)
         return value_id
 
+    def merge_from(self, other: "QGramIndex") -> None:
+        """Graft another index's values into this one (set union).
+
+        Values already present are skipped; new values keep the gram
+        counters ``other`` computed, so merging never re-counts grams —
+        this is what lets worker processes build per-partition value
+        indexes and the parent fold them together at dictionary speed
+        (see :class:`repro.core.index.IndexPartial`).  Observable search
+        behavior is merge-order-independent (searches return value
+        *sets*; only the internal insertion order differs).
+        """
+        if other.q != self.q:
+            raise ValueError(
+                f"cannot merge a q={other.q} index into a q={self.q} index"
+            )
+        for other_id, value in enumerate(other._values):
+            if value in self._ids:
+                continue
+            value_id = len(self._values)
+            self._values.append(value)
+            self._ids[value] = value_id
+            grams = other._grams[other_id]
+            self._grams.append(grams)
+            for gram in grams:
+                self._buckets[gram].append(value_id)
+            self._by_length[len(value)].append(value_id)
+
     def search(self, query: str, threshold: float) -> list[str]:
         """All indexed values ``v`` with ``ned(query, v) < threshold``.
 

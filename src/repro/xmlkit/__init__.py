@@ -5,7 +5,7 @@ Parser, tree model, serializer, XPath-subset engine, and XML Schema
 needs from an XML stack, with no third-party dependencies.
 """
 
-from .parser import parse, parse_file
+from .parser import decode_xml_bytes, parse, parse_file
 from .schema import (
     ContentModel,
     DataType,
@@ -17,7 +17,7 @@ from .schema_infer import infer_schema, sniff_data_type
 from .schema_parser import parse_schema, parse_schema_file
 from .serialize import serialize
 from .xquery import XQuery, XQueryError, execute as execute_xquery
-from .tree import Document, Element, XMLError, strip_positions
+from .tree import Document, Element, XMLError, absolute_path_index, strip_positions
 from .xpath import XPath, XPathSyntaxError, compile_path, join, select
 
 __all__ = [
@@ -33,7 +33,9 @@ __all__ = [
     "XQueryError",
     "XPath",
     "XPathSyntaxError",
+    "absolute_path_index",
     "compile_path",
+    "decode_xml_bytes",
     "execute_xquery",
     "infer_schema",
     "join",

@@ -256,6 +256,37 @@ class Document:
         return f"<Document root=<{self.root.tag}>>"
 
 
+def absolute_path_index(root: Element) -> dict[str, Element]:
+    """Map every element's :meth:`Element.absolute_path` to the element.
+
+    One linear walk with per-parent sibling counting — resolving *n*
+    paths through individual ``absolute_path()`` calls is quadratic in
+    sibling count, which matters when an index snapshot re-attaches
+    thousands of object descriptions to a freshly parsed tree (see
+    :mod:`repro.ingest.store`).
+    """
+    index: dict[str, Element] = {}
+
+    def walk(element: Element, path: str) -> None:
+        index[path] = element
+        children = element.children
+        total: dict[str, int] = {}
+        for child in children:
+            total[child.tag] = total.get(child.tag, 0) + 1
+        seen: dict[str, int] = {}
+        for child in children:
+            if total[child.tag] > 1:
+                position = seen.get(child.tag, 0) + 1
+                seen[child.tag] = position
+                step = f"{child.tag}[{position}]"
+            else:
+                step = child.tag
+            walk(child, f"{path}/{step}")
+
+    walk(root, f"/{root.tag}")
+    return index
+
+
 def strip_positions(path: str) -> str:
     """Remove positional predicates from an XPath string.
 

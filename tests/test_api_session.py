@@ -302,15 +302,76 @@ class TestExtend:
         )
         assert paper_session.incremental is not None
 
-    def test_extend_does_not_touch_standing_index(self, paper_session):
+    def test_extend_merges_into_standing_index(self, paper_session):
+        """extend() delta-merges the new source into the live index:
+        statistics grow and the candidate set covers the extension
+        (the pre-PR-5 snapshot-index limitation, now fixed)."""
         before = paper_session.index.total_objects
+        terms_before = paper_session.index.statistics()["terms"]
         paper_session.extend(
             Source(parse("<moviedoc><movie><title>Alien</title>"
                          "<year>1979</year></movie></moviedoc>"),
                    paper_example_schema())
         )
-        assert paper_session.index.total_objects == before
-        assert len(paper_session.ods) == before
+        assert paper_session.index.total_objects == before + 1
+        assert len(paper_session.ods) == before + 1
+        assert paper_session.index.statistics()["terms"] > terms_before
+        assert paper_session.index.occurrences("TITLE", "Alien") == {3}
+
+    def test_match_and_detect_see_extended_objects(self, paper_session):
+        """Regression (PR 5 satellite): partners among objects added
+        via extend() are found by match() and by a follow-up detect().
+        Before the delta merge, the snapshot index silently missed
+        them."""
+        update = paper_session.extend(
+            Source(parse("<moviedoc><movie><title>Sings</title>"
+                         "<year>2002</year></movie></moviedoc>"),
+                   paper_example_schema())
+        )
+        (new_id, _) = update.assignments[0]
+        assert new_id == 3
+        # The standing object "Signs" (id 2) now matches the extension...
+        assert 3 in [m.object_id for m in paper_session.match(2)]
+        # ...the extension matches back...
+        assert 2 in [m.object_id for m in paper_session.match(3)]
+        # ...and a full batch detect() reports the pair and cluster.
+        result = paper_session.detect()
+        assert (2, 3) in result.duplicate_id_pairs()
+        assert any(set(c) >= {2, 3} for c in result.clusters)
+
+    def test_extend_detect_identical_to_fresh_build(self):
+        """detect() after extend() is bit-identical to a session built
+        cold over the grown corpus (same candidate ids: single
+        candidate xpath, sources in insertion order)."""
+        schema = paper_example_schema()
+        late = ("<moviedoc><movie><title>Sings</title><year>2002</year>"
+                "</movie></moviedoc>")
+        session = DetectionSession(
+            Source(paper_example_document(), schema),
+            paper_example_mapping(),
+            "MOVIE",
+            paper_config(),
+        )
+        session.extend(Source(parse(late), schema))
+        fresh = DetectionSession(
+            Corpus([Source(paper_example_document(), schema),
+                    Source(parse(late), schema)]),
+            paper_example_mapping(),
+            "MOVIE",
+            paper_config(),
+        )
+        extended = session.detect()
+        assert extended.identical_to(fresh.detect())
+        # match() agrees with the fresh session object for object.
+        for od in fresh.ods:
+            fresh_partners = [
+                (m.object_id, m.similarity) for m in fresh.match(od.object_id)
+            ]
+            extended_partners = [
+                (m.object_id, m.similarity)
+                for m in session.match(od.object_id)
+            ]
+            assert extended_partners == fresh_partners
 
     def test_extend_after_sharded_detect_matches_serial(self, paper_session):
         """Incremental ingestion is backend-independent: a session whose

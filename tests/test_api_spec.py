@@ -138,6 +138,42 @@ class TestRoundTrip:
         assert policy.shard_by == "object"
         assert policy.workers == 4
 
+    def test_ingest_workers_round_trips(self):
+        spec = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            workers=4, ingest_workers=3,
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.execution_policy() == ExecutionPolicy(
+            workers=4, batch_size=256, backend="process", ingest_workers=3
+        )
+
+    def test_ingest_workers_orthogonal_to_backend(self):
+        """Parallel ingestion composes with any detection backend —
+        including a fully serial one."""
+        spec = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            ingest_workers=2,
+        )
+        policy = spec.execution_policy()
+        assert policy.backend == "serial"
+        assert policy.workers == 1
+        assert policy.ingest_workers == 2
+        sharded = RunSpec(
+            documents=["a.xml"], mapping="m.xml", real_world_type="T",
+            workers=2, backend="shard", ingest_workers=2,
+        ).execution_policy()
+        assert sharded.backend == "shard"
+        assert sharded.ingest_workers == 2
+
+    def test_negative_ingest_workers_rejected(self):
+        with pytest.raises(ValueError, match="ingest_workers"):
+            RunSpec(
+                documents=["a.xml"], mapping="m.xml", real_world_type="T",
+                ingest_workers=-1,
+            )
+
     def test_unknown_shard_by_rejected(self):
         with pytest.raises(ValueError, match="shard_by"):
             RunSpec(

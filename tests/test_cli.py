@@ -61,6 +61,25 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_ingest_workers_flag_reaches_the_spec(self):
+        from repro.cli import _spec_from_args
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["dedup", "doc.xml", "--mapping", "m.xml", "--type", "T",
+             "--ingest-workers", "3"]
+        )
+        spec = _spec_from_args(args, parser)
+        assert spec.ingest_workers == 3
+        assert spec.to_config().execution.ingest_workers == 3
+
+    def test_negative_ingest_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["dedup", "doc.xml", "--mapping", "m.xml", "--type", "T",
+                 "--ingest-workers", "-2"]
+            )
+
 
 class TestDedupCommand:
     def test_dedup_to_stdout(self, example_files, capsys):

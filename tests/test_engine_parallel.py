@@ -62,6 +62,7 @@ class TestExecutionPolicy:
             {"workers": 0},
             {"batch_size": 0},
             {"backend": "threads"},
+            {"ingest_workers": 0},
             # multi-worker serial would silently run single-process
             {"workers": 4, "backend": "serial"},
             {"workers": 4},

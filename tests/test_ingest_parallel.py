@@ -1,0 +1,250 @@
+"""Parallel corpus construction: serial parity and fallback behavior.
+
+The :class:`~repro.ingest.ParallelIngestor` contract: whatever the
+worker count, chunking, or parse placement, the build yields the exact
+serial candidate set (ids, OD tuples, parent-owned elements) and an
+observably identical index — and therefore bit-identical detection
+results.  Pool-spawning tests carry the ``slow`` marker to keep the
+``-m "not slow"`` dev loop fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Corpus, DetectionSession
+from repro.core import DogmatixConfig, RDistantDescendants, Source
+from repro.datagen import (
+    PAPER_EXAMPLE_XML,
+    paper_example_document,
+    paper_example_mapping,
+    paper_example_schema,
+)
+from repro.engine import ExecutionPolicy
+from repro.eval import build_dataset1
+from repro.eval.harness import compare_ingest_builds
+from repro.ingest import IngestReport, ParallelIngestor
+
+
+def paper_config() -> DogmatixConfig:
+    return DogmatixConfig(
+        heuristic=RDistantDescendants(2),
+        theta_tuple=0.55,
+        theta_cand=0.55,
+        use_object_filter=False,
+    )
+
+
+def assert_same_build(reference: DetectionSession, other: DetectionSession):
+    assert [od.object_id for od in other.ods] == [
+        od.object_id for od in reference.ods
+    ]
+    assert [od.tuples for od in other.ods] == [od.tuples for od in reference.ods]
+    assert [
+        od.element.absolute_path() if od.element is not None else None
+        for od in other.ods
+    ] == [
+        od.element.absolute_path() if od.element is not None else None
+        for od in reference.ods
+    ]
+    assert other.index.statistics() == reference.index.statistics()
+
+
+class TestSerialPath:
+    def test_single_worker_matches_generate_ods(self):
+        corpus = Corpus(Source(paper_example_document(), paper_example_schema()))
+        config = paper_config()
+        mapping = paper_example_mapping()
+        reference = corpus.generate_ods(mapping, "MOVIE", config)
+        ingestor = ParallelIngestor(1)
+        ods, index = ingestor.build(corpus, mapping, "MOVIE", config)
+        assert ingestor.last_report == IngestReport(
+            backend="serial", workers=1, sources=1, candidates=3
+        )
+        assert [od.object_id for od in ods] == [od.object_id for od in reference]
+        assert [od.tuples for od in ods] == [od.tuples for od in reference]
+        # The serial path generates through the corpus, so elements are
+        # identical objects, not just equal paths.
+        assert all(
+            mine.element is theirs.element for mine, theirs in zip(ods, reference)
+        )
+        assert index.statistics()["objects"] == len(ods)
+
+    def test_unpicklable_payload_falls_back(self):
+        config = paper_config()
+        config.condition = lambda e0, element: True  # closure: unpicklable
+        corpus = Corpus(Source(paper_example_document(), paper_example_schema()))
+        ingestor = ParallelIngestor(2)
+        ods, _ = ingestor.build(corpus, paper_example_mapping(), "MOVIE", config)
+        assert ingestor.last_report.backend == "serial"
+        assert ingestor.last_report.reason == "unpicklable ingest payload"
+        assert len(ods) == 3
+
+    def test_empty_candidate_set_skips_the_pool(self):
+        corpus = Corpus(Source(paper_example_document(), paper_example_schema()))
+        mapping = paper_example_mapping()
+        ingestor = ParallelIngestor(2)
+        ods, index = ingestor.build(
+            corpus, mapping.add("NOPE", "/moviedoc/nothing"), "NOPE",
+            paper_config(),
+        )
+        assert ods == []
+        assert index.total_objects == 0
+        assert ingestor.last_report.reason == "no candidates"
+
+    def test_pattern_xpath_on_inferred_schema_matches_serial(self):
+        """A pattern xpath ('//movie') never matches Schema.get()'s
+        exact-path lookup, so the serial path yields zero candidates
+        for schema-less sources — the parallel gate must agree instead
+        of tasking workers with an undeclared unit."""
+        from repro.framework import TypeMapping
+
+        mapping = TypeMapping().add("MOVIE", "//movie")
+        corpus = Corpus(Source(paper_example_document()))  # no schema
+        config = paper_config()
+        reference = corpus.generate_ods(mapping, "MOVIE", config)
+        assert reference == []  # the serial rule this pins
+        ingestor = ParallelIngestor(2)
+        ods, index = ingestor.build(corpus, mapping, "MOVIE", config)
+        assert ods == []
+        assert index.total_objects == 0
+        assert ingestor.last_report.reason == "no candidates"
+
+    def test_report_describes_the_current_build_only(self):
+        """A reused ingestor must not report a previous call's
+        worker-parse count."""
+        ingestor = ParallelIngestor(1)
+        ingestor._parsed_in_workers = 2  # as left by a prior parse
+        corpus = Corpus(Source(paper_example_document(), paper_example_schema()))
+        ingestor.build(corpus, paper_example_mapping(), "MOVIE", paper_config())
+        assert ingestor.last_report.parsed_in_workers == 2  # consumed once
+        ingestor.build(corpus, paper_example_mapping(), "MOVIE", paper_config())
+        assert ingestor.last_report.parsed_in_workers == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelIngestor(-1)
+        with pytest.raises(ValueError):
+            ParallelIngestor(2, chunk_factor=0)
+
+    def test_parse_sources_mixed_inputs(self, tmp_path):
+        path = tmp_path / "movies.xml"
+        path.write_text(PAPER_EXAMPLE_XML, encoding="utf-8")
+        ingestor = ParallelIngestor(1)
+        in_memory = Source(paper_example_document(), paper_example_schema())
+        sources = ingestor.parse_sources(
+            [str(path), in_memory, paper_example_document()],
+            schemas=[paper_example_schema()],
+        )
+        assert len(sources) == 3
+        assert sources[0].schema is not None  # positional pairing
+        assert sources[0].document.root.tag == "moviedoc"
+        assert sources[1] is in_memory
+        assert sources[2].schema is None
+
+    def test_parse_sources_rejects_schema_conflicts(self):
+        ingestor = ParallelIngestor(1)
+        carried = Source(paper_example_document(), paper_example_schema())
+        with pytest.raises(ValueError):
+            ingestor.parse_sources([carried], schemas=[paper_example_schema()])
+        with pytest.raises(ValueError):
+            ingestor.parse_sources([], schemas=[paper_example_schema()])
+
+
+@pytest.mark.slow
+class TestParallelParity:
+    def test_paper_example_bit_identical(self):
+        config = paper_config()
+        source = Source(paper_example_document(), paper_example_schema())
+        reference = DetectionSession(
+            source, paper_example_mapping(), "MOVIE", config
+        )
+        ingestor = ParallelIngestor(2)
+        session = ingestor.build_session(
+            [Source(paper_example_document(), paper_example_schema())],
+            paper_example_mapping(),
+            "MOVIE",
+            config,
+        )
+        assert ingestor.last_report.backend == "parallel"
+        assert_same_build(reference, session)
+        assert session.detect().identical_to(reference.detect())
+
+    def test_dataset1_parity_and_detection(self):
+        """Realistic generator corpus: same build, bit-identical run."""
+        dataset = build_dataset1(base_count=20, seed=7)
+        runs = compare_ingest_builds(dataset, workers=2, verify_detect=True)
+        assert [run.mode for run in runs] == ["serial", "parallel(2)"]
+        assert all(run.identical for run in runs)
+        assert all(run.detect_identical for run in runs)
+        assert len({run.candidates for run in runs}) == 1
+
+    def test_chunking_is_invariant(self):
+        """chunk_factor is a scheduling knob: 1 vs 7 chunks per worker
+        produce the same ODs and index."""
+        dataset = build_dataset1(base_count=10, seed=11)
+        corpus = Corpus(dataset.sources)
+        config = DogmatixConfig(use_object_filter=False)
+        builds = []
+        for chunk_factor in (1, 7):
+            ingestor = ParallelIngestor(2, chunk_factor=chunk_factor)
+            builds.append(
+                ingestor.build(
+                    corpus, dataset.mapping, dataset.real_world_type, config
+                )
+            )
+        (ods_a, index_a), (ods_b, index_b) = builds
+        assert [od.object_id for od in ods_a] == [od.object_id for od in ods_b]
+        assert [od.tuples for od in ods_a] == [od.tuples for od in ods_b]
+        assert index_a.statistics() == index_b.statistics()
+
+    def test_worker_parsed_paths(self, tmp_path):
+        """Path sources parse inside the pool (phase 1) and still
+        yield the serial session."""
+        first = tmp_path / "a.xml"
+        second = tmp_path / "b.xml"
+        first.write_text(PAPER_EXAMPLE_XML, encoding="utf-8")
+        second.write_text(
+            "<moviedoc><movie><title>Sings</title><year>2002</year>"
+            "</movie></moviedoc>",
+            encoding="utf-8",
+        )
+        config = paper_config()
+        ingestor = ParallelIngestor(2)
+        session = ingestor.build_session(
+            [str(first), second],
+            paper_example_mapping(),
+            "MOVIE",
+            config,
+        )
+        assert ingestor.last_report.parsed_in_workers == 2
+        from repro.xmlkit import parse_file
+
+        reference = DetectionSession(
+            [Source(parse_file(first)), Source(parse_file(second))],
+            paper_example_mapping(),
+            "MOVIE",
+            config,
+        )
+        assert_same_build(reference, session)
+        assert session.detect().identical_to(reference.detect())
+
+    def test_session_builds_parallel_from_policy(self):
+        """config.execution.ingest_workers routes session construction
+        through the ingest subsystem transparently."""
+        dataset = build_dataset1(base_count=10, seed=3)
+        config = DogmatixConfig(use_object_filter=False)
+        reference = DetectionSession(
+            Corpus(dataset.sources), dataset.mapping,
+            dataset.real_world_type, config,
+        )
+        parallel_config = DogmatixConfig(
+            use_object_filter=False,
+            execution=ExecutionPolicy(ingest_workers=2),
+        )
+        session = DetectionSession(
+            Corpus(dataset.sources), dataset.mapping,
+            dataset.real_world_type, parallel_config,
+        )
+        assert_same_build(reference, session)
+        assert session.detect().identical_to(reference.detect())

@@ -1,0 +1,244 @@
+"""IndexStore: content-addressed snapshot save/load round trips.
+
+The warm-start contract: a session loaded from a snapshot answers
+``detect()``, ``match()``, and ``explain()`` exactly like the cold
+build the snapshot was taken from — and the content key makes serving
+a stale snapshot impossible (any input-byte or OD-relevant-config
+change misses).  The version policy (unknown ``format`` == miss, never
+an error) is pinned here too, plus the CLI ``index build`` /
+``--store`` flow.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.api import RunSpec
+from repro.cli import main as cli_main
+from repro.datagen import (
+    PAPER_EXAMPLE_XML,
+    PAPER_EXAMPLE_XSD,
+    paper_example_mapping,
+)
+from repro.ingest import FORMAT_VERSION, IndexStore
+from repro.ingest.store import SnapshotInfo
+
+
+@pytest.fixture()
+def example_dir(tmp_path):
+    """The paper's running example as spec-addressable files."""
+    (tmp_path / "movies.xml").write_text(PAPER_EXAMPLE_XML, encoding="utf-8")
+    (tmp_path / "movies.xsd").write_text(PAPER_EXAMPLE_XSD, encoding="utf-8")
+    (tmp_path / "mapping.xml").write_text(
+        paper_example_mapping().to_xml(), encoding="utf-8"
+    )
+    return tmp_path
+
+
+def example_spec(example_dir) -> RunSpec:
+    return RunSpec(
+        documents=[str(example_dir / "movies.xml")],
+        mapping=str(example_dir / "mapping.xml"),
+        real_world_type="MOVIE",
+        schemas=[str(example_dir / "movies.xsd")],
+        heuristic="rdistant:2",
+        theta_tuple=0.55,
+        theta_cand=0.55,
+        use_object_filter=False,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_bit_identical(self, example_dir, tmp_path):
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        assert store.load(spec) is None  # cold store
+        assert not store.contains(spec)
+        cold = spec.build_session()
+        digest = store.save(spec, cold)
+        assert store.contains(spec)
+        warm = store.load(spec)
+        assert warm is not None
+        # Same candidate set with elements re-attached to real paths...
+        assert [od.object_id for od in warm.ods] == [
+            od.object_id for od in cold.ods
+        ]
+        assert [od.tuples for od in warm.ods] == [od.tuples for od in cold.ods]
+        assert [od.element.absolute_path() for od in warm.ods] == [
+            od.element.absolute_path() for od in cold.ods
+        ]
+        # ...the same index statistics, and bit-identical detection.
+        assert warm.index.statistics() == cold.index.statistics()
+        assert warm.detect().identical_to(cold.detect())
+        for od in cold.ods:
+            assert [
+                (m.object_id, m.similarity, m.path)
+                for m in warm.match(od.object_id)
+            ] == [
+                (m.object_id, m.similarity, m.path)
+                for m in cold.match(od.object_id)
+            ]
+        assert len(digest) == 64
+
+    def test_extended_sessions_cannot_be_snapshotted(self, example_dir, tmp_path):
+        """The content key covers only the spec's documents, so a
+        session that grew via extend() must be rejected rather than
+        poison the snapshot for its spec."""
+        from repro.core import Source
+        from repro.xmlkit import parse
+
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        session = spec.build_session()
+        session.extend(
+            Source(parse("<moviedoc><movie><title>Alien</title>"
+                         "<year>1979</year></movie></moviedoc>"),
+                   session.corpus.sources[0].schema)
+        )
+        with pytest.raises(ValueError, match="extend"):
+            store.save(spec, session)
+
+    def test_loaded_session_supports_extend(self, example_dir, tmp_path):
+        """Warm sessions are full sessions: schemas round-trip, so
+        extend() (schema-driven OD generation) works after a load."""
+        from repro.core import Source
+        from repro.xmlkit import parse
+
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        store.save(spec, spec.build_session())
+        warm = store.load(spec)
+        late = parse(
+            "<moviedoc><movie><title>Sings</title><year>2002</year>"
+            "</movie></moviedoc>"
+        )
+        update = warm.extend(Source(late, warm.corpus.sources[0].schema))
+        assert update.added[0].object_id == 3
+        assert 3 in [m.object_id for m in warm.match(2)]
+
+
+class TestContentAddressing:
+    def test_key_is_stable(self, example_dir):
+        spec = example_spec(example_dir)
+        store = IndexStore(example_dir / "store")
+        assert store.key_for(spec) == store.key_for(example_spec(example_dir))
+
+    def test_key_ignores_non_index_knobs(self, example_dir):
+        """theta_cand, execution, and filter switches do not reshape
+        ODs or the index — snapshots stay warm across them."""
+        store = IndexStore(example_dir / "store")
+        base = store.key_for(example_spec(example_dir))
+        tweaked = example_spec(example_dir)
+        tweaked.theta_cand = 0.8
+        tweaked.workers = 4
+        tweaked.backend = "process"
+        tweaked.ingest_workers = 2
+        assert store.key_for(tweaked) == base
+
+    def test_key_tracks_index_shaping_inputs(self, example_dir):
+        store = IndexStore(example_dir / "store")
+        base = store.key_for(example_spec(example_dir))
+        for mutate in (
+            lambda s: setattr(s, "theta_tuple", 0.6),
+            lambda s: setattr(s, "heuristic", "kclosest:3"),
+            lambda s: setattr(s, "real_world_type", "FILM"),
+            lambda s: setattr(s, "include_empty", True),
+        ):
+            spec = example_spec(example_dir)
+            mutate(spec)
+            assert store.key_for(spec) != base
+
+    def test_key_tracks_file_contents(self, example_dir, tmp_path):
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        session = spec.build_session()
+        store.save(spec, session)
+        document = example_dir / "movies.xml"
+        document.write_text(
+            PAPER_EXAMPLE_XML.replace("Signs", "Sings"), encoding="utf-8"
+        )
+        # Same paths, different bytes: a different corpus, so a miss.
+        assert store.load(example_spec(example_dir)) is None
+
+
+class TestVersionPolicy:
+    def test_unknown_format_is_a_miss(self, example_dir, tmp_path):
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        store.save(spec, spec.build_session())
+        digest = store.key_for(spec)
+        path = store._snapshot_path(digest)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["format"] = FORMAT_VERSION + 1
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert store.load(spec) is None  # rebuild, don't crash
+        assert store.list() == []  # catalogs only the current format
+
+    def test_list_catalog(self, example_dir, tmp_path):
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        assert store.list() == []
+        store.save(spec, spec.build_session())
+        (entry,) = store.list()
+        assert isinstance(entry, SnapshotInfo)
+        assert entry.real_world_type == "MOVIE"
+        assert entry.objects == 3
+        assert entry.sources == 1
+        assert entry.digest == store.key_for(spec)
+
+
+class TestCLI:
+    def write_spec(self, example_dir) -> str:
+        spec = RunSpec(
+            documents=["movies.xml"],
+            mapping="mapping.xml",
+            real_world_type="MOVIE",
+            schemas=["movies.xsd"],
+            heuristic="rdistant:2",
+            theta_tuple=0.55,
+            theta_cand=0.55,
+            use_object_filter=False,
+        )
+        path = example_dir / "run.json"
+        spec.save(str(path))
+        return str(path)
+
+    def test_index_build_then_cached(self, example_dir, capsys):
+        spec_path = self.write_spec(example_dir)
+        store_dir = str(example_dir / "store")
+        assert cli_main(["index", "build", "--spec", spec_path,
+                         "--store", store_dir]) == 0
+        first = capsys.readouterr()
+        assert "snapshot saved" in first.err
+        digest = first.out.strip()
+        assert cli_main(["index", "build", "--spec", spec_path,
+                         "--store", store_dir]) == 0
+        second = capsys.readouterr()
+        assert "already covers" in second.err
+        assert second.out.strip() == digest
+        assert cli_main(["index", "list", "--store", store_dir]) == 0
+        listing = capsys.readouterr()
+        assert digest[:12] in listing.out
+
+    def test_dedup_warm_starts_from_store(self, example_dir, capsys):
+        spec_path = self.write_spec(example_dir)
+        store_dir = str(example_dir / "store")
+        assert cli_main(["dedup", "--spec", spec_path,
+                         "--store", store_dir]) == 0
+        cold = capsys.readouterr()
+        assert "saved index snapshot" in cold.err
+        assert cli_main(["dedup", "--spec", spec_path,
+                         "--store", store_dir]) == 0
+        warm = capsys.readouterr()
+        assert "warm start" in warm.err
+        assert warm.out == cold.out  # identical dupcluster document
+
+    def test_index_build_requires_store(self, example_dir):
+        spec_path = self.write_spec(example_dir)
+        with pytest.raises(SystemExit):
+            cli_main(["index", "build", "--spec", spec_path])

@@ -142,3 +142,76 @@ class TestSerialize:
     def test_element_serialization_without_document(self):
         element = Element("x", content=["v"])
         assert serialize(element) == "<x>v</x>"
+
+
+class TestBytesAndEncodings:
+    """parse()/parse_file() accept bytes and path-likes (PR 5 satellite);
+    decoding follows BOM -> declared encoding -> UTF-8."""
+
+    def test_parse_bytes_utf8_default(self):
+        doc = parse("<a>héllo</a>".encode("utf-8"))
+        assert doc.root.text == "héllo"
+
+    def test_parse_bytearray(self):
+        assert parse(bytearray(b"<a>x</a>")).root.text == "x"
+
+    def test_declared_encoding_honored(self):
+        text = '<?xml version="1.0" encoding="ISO-8859-1"?><a>héllo</a>'
+        doc = parse(text.encode("latin-1"))
+        assert doc.root.text == "héllo"
+        assert doc.declaration["encoding"] == "ISO-8859-1"
+
+    def test_utf8_bom_stripped(self):
+        import codecs
+
+        doc = parse(codecs.BOM_UTF8 + "<a>héllo</a>".encode("utf-8"))
+        assert doc.root.text == "héllo"
+
+    def test_utf16_bom_wins_over_declaration(self):
+        text = '<?xml version="1.0" encoding="UTF-16"?><a>héllo</a>'
+        doc = parse(codecs_bom_utf16_le() + text.encode("utf-16-le"))
+        assert doc.root.text == "héllo"
+
+    def test_unknown_encoding_raises(self):
+        data = b'<?xml version="1.0" encoding="no-such-enc"?><a/>'
+        with pytest.raises(XMLError, match="unknown XML encoding"):
+            parse(data)
+
+    def test_undecodable_bytes_raise(self):
+        with pytest.raises(XMLError, match="cannot decode"):
+            parse(b"<a>\xff\xfe\xfa</a>")
+
+    def test_crlf_input_normalized_like_text_mode(self, tmp_path):
+        """XML 1.0 §2.11: byte/file input normalizes \\r\\n and lone
+        \\r to \\n — the treatment text-mode reading used to apply, so
+        Windows-authored corpora parse to identical trees."""
+        from repro.xmlkit import parse_file
+
+        assert parse(b"<a>line1\r\nline2\rline3</a>").root.text == (
+            "line1\nline2\nline3"
+        )
+        path = tmp_path / "crlf.xml"
+        path.write_bytes(b"<a>line1\r\nline2</a>")
+        assert parse_file(path).root.text == "line1\nline2"
+
+    def test_parse_file_accepts_pathlib_path(self, tmp_path):
+        from repro.xmlkit import parse_file
+
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b>x</b></a>", encoding="utf-8")
+        assert parse_file(path).root.find("b").text == "x"
+
+    def test_parse_file_decodes_declared_encoding(self, tmp_path):
+        from repro.xmlkit import parse_file
+
+        path = tmp_path / "latin.xml"
+        path.write_bytes(
+            '<?xml version="1.0" encoding="latin-1"?><a>café</a>'.encode("latin-1")
+        )
+        assert parse_file(str(path)).root.text == "café"
+
+
+def codecs_bom_utf16_le() -> bytes:
+    import codecs
+
+    return codecs.BOM_UTF16_LE

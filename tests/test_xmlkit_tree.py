@@ -159,3 +159,26 @@ class TestManipulation:
         parent.extend([Element("a"), "text", Element("b")])
         assert [c.tag for c in parent.children] == ["a", "b"]
         assert parent.text == "text"
+
+
+class TestAbsolutePathIndex:
+    def test_matches_absolute_path_for_every_element(self):
+        from repro.xmlkit import absolute_path_index, parse
+
+        doc = parse(
+            "<db><disc><title>a</title><tracks><title>t1</title>"
+            "<title>t2</title></tracks></disc>"
+            "<disc><title>b</title></disc></db>"
+        )
+        index = absolute_path_index(doc.root)
+        elements = list(doc.iter())
+        assert len(index) == len(elements)
+        for element in elements:
+            assert index[element.absolute_path()] is element
+
+    def test_position_predicates_only_for_repeated_tags(self):
+        from repro.xmlkit import absolute_path_index, parse
+
+        doc = parse("<a><b/><b/><c/></a>")
+        index = absolute_path_index(doc.root)
+        assert set(index) == {"/a", "/a/b[1]", "/a/b[2]", "/a/c"}
