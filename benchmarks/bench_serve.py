@@ -1,0 +1,249 @@
+"""Serving latency/throughput: concurrent match() over the daemon.
+
+The serve layer exists so one warm :class:`~repro.api.DetectionSession`
+answers many single-object lookups — this benchmark measures that
+shape end to end over HTTP on Dataset 1:
+
+* start a :class:`~repro.serve.DetectionServer` on an ephemeral port,
+  open the corpus once (cold build + snapshot save), and confirm a
+  second open is a resident-session hit;
+* hammer ``GET /corpora/<digest>/match`` from N concurrent client
+  threads (default 8) cycling through the corpus's object ids;
+* report p50/p99 request latency and sustained QPS;
+* assert every sampled response is **bit-identical** to a
+  single-threaded ``session.match()`` on a session loaded from the
+  same snapshot (similarities compare exactly — floats survive the
+  JSON round trip).
+
+Standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+or through pytest like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+
+Scale via ``REPRO_D1_BASE`` (default 150) and ``--threads``;
+``--smoke`` shrinks the corpus and asserts parity + concurrency only
+(latency on tiny corpora is noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import RunSpec
+from repro.eval import build_dataset1
+from repro.ingest import IndexStore
+from repro.serve import DetectionServer, ServeClient
+from repro.xmlkit import serialize
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def write_corpus(directory: str, base_count: int, seed: int = 7) -> RunSpec:
+    """Dataset 1 as spec-addressable files (the daemon reads paths)."""
+    dataset = build_dataset1(base_count, seed)
+    root = pathlib.Path(directory)
+    documents = []
+    for index, source in enumerate(dataset.sources):
+        path = root / f"dataset1-{index}.xml"
+        path.write_text(serialize(source.document), encoding="utf-8")
+        documents.append(str(path))
+    mapping_path = root / "mapping.xml"
+    mapping_path.write_text(dataset.mapping.to_xml(), encoding="utf-8")
+    return RunSpec(
+        documents=documents,
+        mapping=str(mapping_path),
+        real_world_type=dataset.real_world_type,
+    )
+
+
+def as_records(matches) -> list[dict]:
+    """session.match() output in the daemon's wire shape."""
+    return [
+        {"object_id": m.object_id, "similarity": m.similarity, "path": m.path}
+        for m in matches
+    ]
+
+
+def run_serve_bench(
+    base_count: int,
+    threads: int = 8,
+    requests_per_thread: int = 40,
+    parity_sample: int = 25,
+) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        corpus_dir = os.path.join(tmp, "corpus")
+        store_dir = os.path.join(tmp, "store")
+        os.makedirs(corpus_dir)
+        spec = write_corpus(corpus_dir, base_count)
+
+        server = DetectionServer(("127.0.0.1", 0), store_dir, quiet=True)
+        server_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        server_thread.start()
+        try:
+            client = ServeClient(f"http://127.0.0.1:{server.port}")
+            started = time.perf_counter()
+            opened = client.open_corpus(spec)
+            build_seconds = time.perf_counter() - started
+            assert opened["origin"] == "cold", opened
+            digest = opened["digest"]
+            assert client.open_corpus(spec)["origin"] == "session"
+
+            # Single-threaded reference off the same snapshot.
+            reference = IndexStore(store_dir).load(spec, digest=digest)
+            assert reference is not None
+            object_ids = [od.object_id for od in reference.ods]
+            step = max(1, len(object_ids) // parity_sample)
+            expected = {
+                object_id: as_records(reference.match(object_id))
+                for object_id in object_ids[::step]
+            }
+
+            latencies: list[float] = []
+            mismatches: list[int] = []
+            errors: list[str] = []
+            lock = threading.Lock()
+
+            def hammer(worker: int) -> None:
+                worker_client = ServeClient(f"http://127.0.0.1:{server.port}")
+                local_lat, local_bad = [], []
+                for i in range(requests_per_thread):
+                    object_id = object_ids[(worker + i * threads) % len(object_ids)]
+                    t0 = time.perf_counter()
+                    try:
+                        response = worker_client.match(
+                            digest, object_id=object_id
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        with lock:
+                            errors.append(f"id {object_id}: {exc}")
+                        continue
+                    local_lat.append(time.perf_counter() - t0)
+                    want = expected.get(object_id)
+                    if want is not None and response["matches"] != want:
+                        local_bad.append(object_id)
+                with lock:
+                    latencies.extend(local_lat)
+                    mismatches.extend(local_bad)
+
+            workers = [
+                threading.Thread(target=hammer, args=(w,))
+                for w in range(threads)
+            ]
+            load_start = time.perf_counter()
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            load_seconds = time.perf_counter() - load_start
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    ordered = sorted(latencies)
+
+    def percentile(p: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
+    return {
+        "objects": len(object_ids),
+        "threads": threads,
+        "requests": len(latencies),
+        "errors": errors,
+        "mismatches": mismatches,
+        "parity_sample": len(expected),
+        "build_seconds": build_seconds,
+        "p50_ms": 1000 * (statistics.median(ordered) if ordered else 0.0),
+        "p99_ms": 1000 * percentile(0.99),
+        "qps": len(latencies) / load_seconds if load_seconds else 0.0,
+    }
+
+
+def format_table(bench: dict) -> str:
+    return "\n".join([
+        f"{bench['objects']} objects, {bench['threads']} concurrent "
+        f"clients, {bench['requests']} match requests "
+        f"(parity-checked ids: {bench['parity_sample']})",
+        f"cold open (build + snapshot save): {bench['build_seconds']:.2f}s",
+        f"{'p50':>8} {'p99':>8} {'QPS':>8}",
+        f"{bench['p50_ms']:>6.1f}ms {bench['p99_ms']:>6.1f}ms "
+        f"{bench['qps']:>8.1f}",
+    ])
+
+
+def check(bench: dict) -> None:
+    assert not bench["errors"], (
+        f"{len(bench['errors'])} request(s) failed, e.g. {bench['errors'][0]}"
+    )
+    assert not bench["mismatches"], (
+        f"served match() diverged from the single-threaded session for "
+        f"object ids {sorted(set(bench['mismatches']))[:5]}"
+    )
+    assert bench["requests"] >= bench["threads"], "load phase ran no requests"
+    assert bench["qps"] > 0
+
+
+def test_serve_latency(report):
+    """Pytest entry point, consistent with the other bench files."""
+    base = scale("REPRO_D1_BASE", 150)
+    bench = run_serve_bench(base)
+    report(
+        f"Serve: concurrent match() over HTTP on Dataset 1 (base={base})",
+        format_table(bench),
+    )
+    check(bench)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus; assert parity + concurrency only",
+    )
+    parser.add_argument("--base", type=int, default=None,
+                        help="Dataset 1 base CDs (default: REPRO_D1_BASE "
+                             "or 150; smoke: 30)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="concurrent client threads (default 8)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="match requests per thread (default 40; "
+                             "smoke: 10)")
+    args = parser.parse_args(argv)
+
+    base = args.base or (30 if args.smoke else scale("REPRO_D1_BASE", 150))
+    requests = args.requests or (10 if args.smoke else 40)
+    bench = run_serve_bench(base, threads=args.threads,
+                            requests_per_thread=requests)
+    print(format_table(bench))
+    check(bench)
+    print(
+        f"serve parity ok: {bench['requests']} concurrent responses "
+        "bit-identical to the single-threaded session"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

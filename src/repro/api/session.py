@@ -26,6 +26,9 @@ every entry point.
 
 from __future__ import annotations
 
+import itertools
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
@@ -49,6 +52,12 @@ from ..framework import (
 )
 from ..xmlkit import Element, strip_positions
 from .corpus import Corpus, SourceLike
+
+#: Distinct theta_cand values whose filter kept-sets a session memoizes
+#: (LRU).  Small on purpose: a serving sweep touches a handful of
+#: thresholds; an adversarial client scanning thetas must not grow
+#: session memory without bound.
+_KEPT_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -178,12 +187,26 @@ class DetectionSession:
         #: How many times this session built a corpus index (always 1;
         #: exposed so benchmarks can assert amortization).
         self.index_builds = 1
-        self._kept_ids: Optional[frozenset[int]] = None
+        #: theta_cand -> kept id set, LRU-bounded; guarded by
+        #: ``_kept_lock`` (bookkeeping only — the O(n) filter pass
+        #: itself runs outside the lock, see :meth:`_kept_for`).
+        self._kept_cache: OrderedDict[float, frozenset[int]] = OrderedDict()
+        self._kept_lock = threading.Lock()
         self._incremental: Optional[IncrementalDeduplicator] = None
         # Externally supplied ODs need not be numbered 0..n-1.
         self._next_id = max(self._by_id, default=-1) + 1
-        self._last_foreign_id = 0
+        # Foreign sentinel ids count downward from strictly below every
+        # corpus id; extend() only ever allocates upward from _next_id,
+        # so the ranges can never meet.  itertools.count.__next__ is a
+        # single C-level step — concurrent match() calls on foreign
+        # elements can never draw the same id (see _foreign_object_id).
+        self._foreign_ids = itertools.count(
+            min(0, min(self._by_id, default=0)) - 1, -1
+        )
         self._last_filter: Optional[ObjectFilter] = None
+        # The standing index is now served read-only: match() runs
+        # lock-free across threads, backed by this assertion seam.
+        self._index.freeze()
 
     @classmethod
     def from_ods(
@@ -442,17 +465,34 @@ class DetectionSession:
         return matches
 
     def _kept_for(self, theta: float) -> Optional[frozenset[int]]:
-        """Ids surviving the object filter at ``theta`` (None = no filter)."""
+        """Ids surviving the object filter at ``theta`` (None = no filter).
+
+        Memoized per ``theta`` in a small LRU (not just at the default
+        threshold — a served ``match(theta_cand=...)`` at any sweep
+        point must not re-run the O(n) filter pass per request).
+        Publication is single-assignment: the set is built fully
+        outside the lock and installed with ``setdefault``, so a
+        concurrent reader sees either nothing or one complete
+        frozenset, and the first writer wins — every caller at a given
+        theta gets the *same* object.  ``extend()`` clears the cache
+        (filter outcomes depend on the index) behind its writer lock.
+        """
         if not self.config.use_object_filter:
             return None
-        if theta == self.config.theta_cand and self._kept_ids is not None:
-            return self._kept_ids
+        with self._kept_lock:
+            cached = self._kept_cache.get(theta)
+            if cached is not None:
+                self._kept_cache.move_to_end(theta)
+                return cached
         object_filter = ObjectFilter(self._index, theta)
         kept = frozenset(
             od.object_id for od in self._ods if object_filter.keep(od)
         )
-        if theta == self.config.theta_cand:
-            self._kept_ids = kept
+        with self._kept_lock:
+            kept = self._kept_cache.setdefault(theta, kept)
+            self._kept_cache.move_to_end(theta)
+            while len(self._kept_cache) > _KEPT_CACHE_SIZE:
+                self._kept_cache.popitem(last=False)
         return kept
 
     def _resolve_od(
@@ -486,11 +526,16 @@ class DetectionSession:
         shared-information search.  Each call returns a *new* id —
         per-id memos (``ObjectFilter.decide``) must never conflate two
         different foreign elements either.
+
+        Allocation is atomic: the old read-modify-write on an instance
+        attribute let two concurrent ``match()`` calls draw the same
+        sentinel, conflating two foreign elements in any shared per-id
+        memo.  ``itertools.count`` advances in one C-level step under
+        the GIL, and the counter starts strictly below every corpus id
+        (``extend()`` only allocates upward), so ids are unique without
+        a lock.
         """
-        self._last_foreign_id = (
-            min(self._last_foreign_id, min(self._by_id, default=0)) - 1
-        )
-        return self._last_foreign_id
+        return next(self._foreign_ids)
 
     def _describe_element(self, element: Element) -> ObjectDescription:
         """OD for a foreign element of the candidate type."""
@@ -549,11 +594,20 @@ class DetectionSession:
         self._next_id += len(new_ods)
         # Delta-merge the index first: clustering (and every later
         # query) scores against statistics that include the new data,
-        # like a fresh build over the grown corpus would.
-        self._index.merge_partial(
-            IndexPartial.from_ods(new_ods, self.mapping, q=self._index.q)
-        )
-        self._kept_ids = None  # filter outcomes depend on the index
+        # like a fresh build over the grown corpus would.  The index is
+        # pinned read-only for concurrent match() readers; extend() is
+        # the one sanctioned writer (serialize it behind a per-session
+        # writer lock when serving, e.g. repro.serve's registry), so it
+        # thaws for the merge and re-freezes unconditionally.
+        self._index.thaw()
+        try:
+            self._index.merge_partial(
+                IndexPartial.from_ods(new_ods, self.mapping, q=self._index.q)
+            )
+        finally:
+            self._index.freeze()
+        with self._kept_lock:
+            self._kept_cache.clear()  # filter outcomes depend on the index
         if self._incremental is None:
             self._incremental = IncrementalDeduplicator(
                 self._similarity,

@@ -5,6 +5,7 @@
     python -m repro.cli match --spec run.json --object-id N
     python -m repro.cli index build --spec run.json --store DIR
     python -m repro.cli index list --store DIR
+    python -m repro.cli serve --store DIR [--port N]
     python -m repro.cli suggest DOCUMENT [--schema SCHEMA.xsd]
     python -m repro.cli example [--write DIR]
 
@@ -14,6 +15,8 @@ partners of a single object against the session's standing index;
 ``index build`` runs corpus construction once and saves a versioned,
 content-addressed snapshot that later ``dedup``/``match`` invocations
 warm-start from via ``--store`` (``index list`` catalogs a store);
+``serve`` runs the detection-as-a-service HTTP daemon over a store
+(see :mod:`repro.serve`);
 ``suggest`` ranks candidate element types of a document's (inferred or
 given) schema; ``example`` replays the paper's running example (or,
 with ``--write``, emits it as files plus a ready ``run.json`` spec).
@@ -192,6 +195,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_list.add_argument("--store", metavar="DIR", required=True,
                             help="index snapshot store directory")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the detection-as-a-service HTTP daemon",
+        description="Long-running daemon over an index snapshot store: "
+                    "POST /corpora opens (warm-loads or builds) a "
+                    "corpus and returns its content digest; "
+                    "GET/POST /corpora/<digest>/match answers "
+                    "single-object lookups concurrently against the "
+                    "warm session; detect/extend run behind the "
+                    "session's writer lock.  See README 'Serving'.",
+    )
+    serve.add_argument("--store", metavar="DIR", required=True,
+                       help="index snapshot store the daemon serves "
+                            "from (and saves cold builds into)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_bounded_int(0, "port"), default=8765,
+                       help="TCP port (0 = pick a free one)")
+    serve.add_argument("--max-sessions",
+                       type=_bounded_int(1, "max sessions"), default=4,
+                       help="resident warm sessions (LRU; evicted "
+                            "corpora warm-load again on demand)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
 
     example = commands.add_parser(
         "example", help="run the paper's running example"
@@ -413,6 +440,18 @@ def _command_index(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve import serve
+
+    return serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        quiet=args.quiet,
+    )
+
+
 def _command_suggest(args: argparse.Namespace) -> int:
     document = parse_file(args.document)
     schema = (
@@ -501,6 +540,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_match(args, parser)
     if args.command == "index":
         return _command_index(args, parser)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "suggest":
         return _command_suggest(args)
     return _command_example(args)

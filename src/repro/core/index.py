@@ -154,9 +154,11 @@ class CorpusIndex:
         self._objects_by_key: dict[str, set[int]] = defaultdict(set)
         self.q = q
         #: (key, value) -> memoized similar value group
-        self._similar_cache: dict[tuple[str, str], list[str]] = {}
+        self._similar_cache: dict[tuple[str, str], tuple[str, ...]] = {}
         #: memoized softIDF values (terms repeat across the O(n²) pairs)
         self._pair_idf_cache: dict[tuple[str, str, str, str], float] = {}
+        #: read-only-after-build pin; see :meth:`freeze`
+        self._frozen = False
 
         # One tuple-scan implementation for every construction path:
         # the serial build is the single-partial case of the merge, so
@@ -198,6 +200,14 @@ class CorpusIndex:
         soft-IDF values are invalidated — both depend on corpus-wide
         statistics that just changed.
         """
+        if self._frozen:
+            raise RuntimeError(
+                "cannot merge into a frozen CorpusIndex: the index is "
+                "pinned read-only after build so concurrent readers "
+                "(match/detect) never observe structural mutation; grow "
+                "it through DetectionSession.extend(), which thaws the "
+                "index behind its writer lock"
+            )
         if partial.q != self.q:
             raise ValueError(
                 f"cannot merge a q={partial.q} partial into a q={self.q} index"
@@ -208,6 +218,38 @@ class CorpusIndex:
         )
         self._similar_cache.clear()
         self._pair_idf_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Read-only pin
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether structural mutation is currently rejected."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Pin the index read-only: :meth:`merge_partial` now raises.
+
+        Sessions freeze their index once construction finishes, so the
+        lock-free concurrent read path (``match()``) is backed by an
+        assertion seam rather than convention — any code path that
+        would structurally mutate a served index fails loudly instead
+        of racing readers.  The memo caches (similar-value groups, pair
+        soft-IDF) stay writable: their entries are idempotent
+        per-key values computed from frozen state, and CPython dict
+        assignment is atomic, so concurrent memoization is benign.
+        """
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Re-admit structural mutation (delta ingestion).
+
+        Only :meth:`~repro.api.session.DetectionSession.extend` should
+        call this, from behind its per-session writer lock; it
+        re-freezes in a ``finally`` so readers never see a thawed
+        index.
+        """
+        self._frozen = False
 
     # ------------------------------------------------------------------
     # Terms and occurrences
@@ -252,14 +294,20 @@ class CorpusIndex:
     # ------------------------------------------------------------------
     # Similar values
     # ------------------------------------------------------------------
-    def similar_values(self, key: str, value: str) -> list[str]:
+    def similar_values(self, key: str, value: str) -> tuple[str, ...]:
         """Distinct corpus values of kind ``key`` with ``ned < θ_tuple``
-        to ``value`` (including the value itself when present)."""
+        to ``value`` (including the value itself when present).
+
+        Returned as an immutable tuple: the result *is* the memoized
+        ``_similar_cache`` entry, and handing out a live list let any
+        caller's mutation corrupt the group every later query sees
+        (the aliasing class PR 1 fixed for :meth:`occurrences`).
+        """
         cached = self._similar_cache.get((key, value))
         if cached is not None:
             return cached
         index = self._value_indexes.get(key)
-        result = index.search(value, self.theta_tuple) if index else []
+        result = tuple(index.search(value, self.theta_tuple)) if index else ()
         self._similar_cache[(key, value)] = result
         return result
 

@@ -56,6 +56,11 @@ from ..xmlkit import (
 FORMAT_VERSION = 1
 
 _SUFFIX = ".json.gz"
+#: Compact catalog record written atomically next to each snapshot so
+#: ``list()`` (and serving a corpus by digest) never gunzips the full
+#: serialized corpus; a missing/corrupt manifest falls back to reading
+#: the snapshot itself.
+_MANIFEST_SUFFIX = ".manifest.json"
 
 
 @dataclass(frozen=True)
@@ -103,6 +108,9 @@ class IndexStore:
 
     def _snapshot_path(self, digest: str) -> Path:
         return self.root / f"{digest}{_SUFFIX}"
+
+    def _manifest_path(self, digest: str) -> Path:
+        return self.root / f"{digest}{_MANIFEST_SUFFIX}"
 
     def contains(self, spec, digest: Optional[str] = None) -> bool:
         """Whether a snapshot exists for the spec's content key.
@@ -177,12 +185,58 @@ class IndexStore:
             "ods": od_records,
         }
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_scratch()
         final = self._snapshot_path(digest)
         scratch = final.with_suffix(final.suffix + f".tmp{os.getpid()}")
         with gzip.open(scratch, "wt", encoding="utf-8") as handle:
             json.dump(payload, handle, separators=(",", ":"))
         os.replace(scratch, final)
+        # Catalog manifest: everything list() prints, plus the build
+        # spec (absolute paths) so a server can warm a session from the
+        # digest alone.  Written after the snapshot lands — a manifest
+        # never describes a snapshot that is not there; the reverse
+        # (snapshot without manifest, e.g. a pre-manifest store) is the
+        # documented slow-path fallback.
+        manifest = {
+            "format": FORMAT_VERSION,
+            "key": digest,
+            "created": payload["created"],
+            "real_world_type": session.real_world_type,
+            "objects": len(od_records),
+            "sources": len(sources),
+            "spec": _portable_spec_dict(spec),
+        }
+        manifest_final = self._manifest_path(digest)
+        manifest_scratch = manifest_final.with_suffix(
+            manifest_final.suffix + f".tmp{os.getpid()}"
+        )
+        manifest_scratch.write_text(
+            json.dumps(manifest, separators=(",", ":")), encoding="utf-8"
+        )
+        os.replace(manifest_scratch, manifest_final)
         return digest
+
+    def sweep_scratch(self) -> int:
+        """Remove scratch files abandoned by dead writers; returns count.
+
+        A process dying between the scratch write and ``os.replace``
+        used to leak ``*.tmp<pid>`` files forever.  Every ``save()``
+        sweeps: a scratch file is removed unless its embedded pid is a
+        *live* process (that writer's own ``os.replace`` will land or
+        it will die and a later sweep collects it).  Unparsable scratch
+        names are removed outright.
+        """
+        removed = 0
+        for scratch in self.root.glob("*.tmp*"):
+            _, _, tail = scratch.name.rpartition(".tmp")
+            if tail.isdigit() and _pid_alive(int(tail)):
+                continue
+            try:
+                scratch.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing sweeper
+                pass
+        return removed
 
     # ------------------------------------------------------------------
     # Load
@@ -246,34 +300,137 @@ class IndexStore:
     # Catalog
     # ------------------------------------------------------------------
     def list(self) -> list[SnapshotInfo]:
-        """All readable current-format snapshots, newest first."""
+        """All readable current-format snapshots, newest first.
+
+        Reads the compact per-snapshot manifest where one exists —
+        cataloging a store must not gunzip and JSON-parse every full
+        serialized corpus.  Snapshots without a (readable, current)
+        manifest fall back to decoding the snapshot itself, so
+        pre-manifest stores keep listing.
+        """
         if not self.root.is_dir():
             return []
         entries: list[SnapshotInfo] = []
         for path in sorted(self.root.glob(f"*{_SUFFIX}")):
-            try:
-                with gzip.open(path, "rt", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-            except (OSError, ValueError):
-                continue
-            if payload.get("format") != FORMAT_VERSION:
-                continue
-            entries.append(
-                SnapshotInfo(
-                    digest=payload.get("key", path.name[: -len(_SUFFIX)]),
-                    path=str(path),
-                    real_world_type=payload.get("real_world_type", ""),
-                    objects=len(payload.get("ods", ())),
-                    sources=len(payload.get("documents", ())),
-                    created=float(payload.get("created", 0.0)),
-                )
-            )
+            digest = path.name[: -len(_SUFFIX)]
+            info = self._info_from_manifest(digest, path)
+            if info is None:
+                info = self._info_from_snapshot(path)
+            if info is not None:
+                entries.append(info)
         entries.sort(key=lambda info: -info.created)
         return entries
+
+    def _info_from_manifest(
+        self, digest: str, path: Path
+    ) -> Optional[SnapshotInfo]:
+        manifest = self._manifest(digest)
+        if manifest is None:
+            return None
+        return SnapshotInfo(
+            digest=manifest.get("key", digest),
+            path=str(path),
+            real_world_type=manifest.get("real_world_type", ""),
+            objects=int(manifest.get("objects", 0)),
+            sources=int(manifest.get("sources", 0)),
+            created=float(manifest.get("created", 0.0)),
+        )
+
+    def _info_from_snapshot(self, path: Path) -> Optional[SnapshotInfo]:
+        """Slow path: derive the catalog entry from the snapshot body."""
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("format") != FORMAT_VERSION:
+            return None
+        return SnapshotInfo(
+            digest=payload.get("key", path.name[: -len(_SUFFIX)]),
+            path=str(path),
+            real_world_type=payload.get("real_world_type", ""),
+            objects=len(payload.get("ods", ())),
+            sources=len(payload.get("documents", ())),
+            created=float(payload.get("created", 0.0)),
+        )
+
+    def _manifest(self, digest: str) -> Optional[dict]:
+        try:
+            data = json.loads(
+                self._manifest_path(digest).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("format") != FORMAT_VERSION:
+            return None
+        return data
+
+    # ------------------------------------------------------------------
+    # Digest-first access (serving)
+    # ------------------------------------------------------------------
+    def spec_for(self, digest: str):
+        """The build :class:`~repro.api.RunSpec` a snapshot's manifest
+        recorded, or ``None`` (pre-manifest snapshot / unknown digest).
+
+        This is what lets a long-running server answer for a corpus it
+        only knows by content digest: ``spec_for`` + :meth:`load`
+        reconstruct the session without the client re-sending the spec.
+        """
+        manifest = self._manifest(digest)
+        if manifest is None:
+            return None
+        spec_dict = manifest.get("spec")
+        if not isinstance(spec_dict, dict):
+            return None
+        from ..api.spec import RunSpec
+
+        try:
+            return RunSpec.from_dict(spec_dict)
+        except (TypeError, ValueError, LookupError):
+            return None
+
+    def resolve_digest(self, prefix: str) -> Optional[str]:
+        """Expand a digest prefix to the unique stored digest, if any."""
+        if not prefix or not self.root.is_dir():
+            return None
+        matches = {
+            path.name[: -len(_SUFFIX)]
+            for path in self.root.glob(f"{prefix}*{_SUFFIX}")
+        }
+        return matches.pop() if len(matches) == 1 else None
 
 
 def _as_document(document: Document | Element) -> Document:
     return document if isinstance(document, Document) else Document(document)
+
+
+def _portable_spec_dict(spec) -> Optional[dict]:
+    """The spec as a manifest-storable dict with absolute input paths.
+
+    Absolute paths make the recorded spec usable from any working
+    directory (the daemon's warm-by-digest path); specs without a
+    ``to_dict`` (duck-typed test doubles) record nothing.
+    """
+    to_dict = getattr(spec, "to_dict", None)
+    if to_dict is None:
+        return None
+    data = to_dict()
+    data["documents"] = [os.path.abspath(p) for p in data["documents"]]
+    data["schemas"] = [os.path.abspath(p) for p in data["schemas"]]
+    data["mapping"] = os.path.abspath(data["mapping"])
+    return data
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # it exists, just not ours
+        return True
+    except OSError:  # not a probeable pid at all
+        return False
+    return True
 
 
 def _file_digest(path: str | os.PathLike) -> str:

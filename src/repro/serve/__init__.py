@@ -1,0 +1,20 @@
+"""Detection-as-a-service: HTTP daemon, session registry, client.
+
+``python -m repro.cli serve --store DIR --port N`` runs the daemon;
+:class:`ServeClient` talks to it; :class:`SessionRegistry` holds the
+warm sessions behind per-session readers-writer locks.
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import DetectionServer, serve
+from .sessions import ReadWriteLock, SessionEntry, SessionRegistry
+
+__all__ = [
+    "DetectionServer",
+    "ReadWriteLock",
+    "ServeClient",
+    "ServeError",
+    "SessionEntry",
+    "SessionRegistry",
+    "serve",
+]

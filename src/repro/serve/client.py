@@ -1,0 +1,129 @@
+"""A thin stdlib client for the detection daemon.
+
+Used by the test suite and ``benchmarks/bench_serve.py``; also the
+reference for how to talk to the daemon from anything that can speak
+HTTP (the README's curl examples mirror these calls).  ``urllib``
+only — the client must not import more than the daemon does.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Optional
+
+
+class ServeError(RuntimeError):
+    """An error response from the daemon (JSON ``{"error": ...}``)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """One daemon endpoint, e.g. ``ServeClient("http://127.0.0.1:8765")``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def catalog(self) -> dict:
+        """The store catalog plus currently resident sessions."""
+        return self._request("GET", "/corpora")
+
+    def open_corpus(self, spec, files: Optional[dict] = None) -> dict:
+        """Open (warm-load or build) a corpus; returns its digest record.
+
+        ``spec`` is a :class:`~repro.api.RunSpec` or a plain dict of its
+        fields; ``files`` optionally uploads input texts inline, keyed
+        by the names the spec's paths use.
+        """
+        spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        body: dict = {"spec": spec_dict, "files": files} if files else spec_dict
+        return self._request("POST", "/corpora", json_body=body)
+
+    def match(
+        self,
+        digest: str,
+        object_id: Optional[int] = None,
+        element: Optional[str] = None,
+        theta_cand: Optional[float] = None,
+        include_possible: bool = False,
+        top: Optional[int] = None,
+    ) -> dict:
+        """Duplicate partners of one object (id, or one-candidate XML)."""
+        if (object_id is None) == (element is None):
+            raise ValueError("pass exactly one of object_id or element")
+        params: dict = {}
+        if object_id is not None:
+            params["object_id"] = object_id
+        if theta_cand is not None:
+            params["theta_cand"] = theta_cand
+        if include_possible:
+            params["include_possible"] = "true"
+        if top is not None:
+            params["top"] = top
+        path = f"/corpora/{digest}/match" + _query(params)
+        if element is None:
+            return self._request("GET", path)
+        return self._request(
+            "POST", path, raw_body=element.encode("utf-8"),
+            content_type="application/xml",
+        )
+
+    def detect(self, digest: str, theta_cand: Optional[float] = None) -> dict:
+        params = {} if theta_cand is None else {"theta_cand": theta_cand}
+        return self._request(
+            "POST", f"/corpora/{digest}/detect" + _query(params)
+        )
+
+    def extend(self, digest: str, document: str) -> dict:
+        """Incrementally ingest an XML document into the warm session."""
+        return self._request(
+            "POST",
+            f"/corpora/{digest}/extend",
+            raw_body=document.encode("utf-8"),
+            content_type="application/xml",
+        )
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[dict] = None,
+        raw_body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> dict:
+        data = raw_body
+        if json_body is not None:
+            data = json.dumps(json_body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": content_type} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                message = exc.reason
+            raise ServeError(exc.code, message) from None
+
+
+def _query(params: dict) -> str:
+    if not params:
+        return ""
+    return "?" + urllib.parse.urlencode(params)

@@ -60,11 +60,31 @@ class TestCorpusIndex:
     def test_similar_values(self, index):
         # ned(alpha, alphq) = 0.2 < 0.25
         assert set(index.similar_values("NAME", "alpha")) == {"alpha", "alphq"}
-        assert index.similar_values("NAME", "gamma") == ["gamma"]
+        assert index.similar_values("NAME", "gamma") == ("gamma",)
 
     def test_similar_values_cached(self, index):
         first = index.similar_values("NAME", "alpha")
         assert index.similar_values("NAME", "alpha") is first
+
+    def test_similar_values_immutable(self, index):
+        """Regression: similar_values() returned the live memoized list.
+
+        The return value *is* the ``_similar_cache`` entry, so a caller
+        mutating it (say, filtering a similar-value group in place)
+        corrupted the group every later query saw — the aliasing class
+        PR 1 fixed for occurrences().  An immutable tuple makes the
+        mutation impossible instead of merely discouraged.
+        """
+        group = index.similar_values("NAME", "alpha")
+        assert isinstance(group, tuple)
+        with pytest.raises(AttributeError):
+            group.append("evil")  # type: ignore[attr-defined]
+        # The cache entry (and every dependent view) is unperturbed.
+        assert set(index.similar_values("NAME", "alpha")) == {"alpha", "alphq"}
+        assert index.objects_with_similar("NAME", "alpha") == {0, 1}
+
+    def test_unseen_kind_similar_values_empty_tuple(self, index):
+        assert index.similar_values("NOPE", "alpha") == ()
 
     def test_objects_with_similar(self, index):
         assert index.objects_with_similar("NAME", "alpha") == {0, 1}

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
 
 import pytest
 
@@ -176,8 +177,17 @@ class TestVersionPolicy:
         payload["format"] = FORMAT_VERSION + 1
         with gzip.open(path, "wt", encoding="utf-8") as handle:
             json.dump(payload, handle)
+        # An old-format store carries old-format (or no) manifests too;
+        # age the sidecar the same way the snapshot was aged.
+        manifest_path = store._manifest_path(digest)
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["format"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
         assert store.load(spec) is None  # rebuild, don't crash
         assert store.list() == []  # catalogs only the current format
+        # Same policy on the manifest-less slow path.
+        manifest_path.unlink()
+        assert store.list() == []
 
     def test_list_catalog(self, example_dir, tmp_path):
         spec = example_spec(example_dir)
@@ -190,6 +200,102 @@ class TestVersionPolicy:
         assert entry.objects == 3
         assert entry.sources == 1
         assert entry.digest == store.key_for(spec)
+
+
+class TestScratchHygiene:
+    def test_save_sweeps_dead_writer_scratch(self, example_dir, tmp_path):
+        """Regression: a writer dying between the scratch write and
+        ``os.replace`` leaked ``.tmp<pid>`` files forever — nothing
+        ever deleted them.  ``save()`` now sweeps scratch whose pid is
+        not a live process."""
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        store.root.mkdir(parents=True)
+        # Pids far above kernel defaults (pid_max is usually 4194304,
+        # and 2**22 + offsets are never assigned in this container).
+        dead = store.root / f"{'a' * 64}.json.gz.tmp999999999"
+        dead.write_bytes(b"torn half-written snapshot")
+        garbled = store.root / "whatever.tmpnotapid"
+        garbled.write_bytes(b"junk")
+        store.save(spec, spec.build_session())
+        assert not dead.exists()
+        assert not garbled.exists()
+        # The real snapshot landed and catalogs normally.
+        assert len(store.list()) == 1
+
+    def test_sweep_spares_live_writers(self, example_dir, tmp_path):
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        store.root.mkdir(parents=True)
+        live = store.root / f"{'b' * 64}.json.gz.tmp{os.getpid()}"
+        live.write_bytes(b"concurrent writer's scratch")
+        store.save(spec, spec.build_session())
+        assert live.exists()  # its own os.replace is still coming
+        live.unlink()
+
+
+class TestManifestCatalog:
+    def test_list_never_decompresses_snapshots(
+        self, example_dir, tmp_path, monkeypatch
+    ):
+        """Regression: ``list()`` gunzipped and JSON-parsed every full
+        serialized corpus just to print a catalog line.  With manifests
+        present it must not open a single snapshot."""
+        import repro.ingest.store as store_module
+
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        store.save(spec, spec.build_session())
+
+        def refuse(*args, **kwargs):
+            raise AssertionError("list() opened a snapshot despite manifests")
+
+        monkeypatch.setattr(store_module.gzip, "open", refuse)
+        (entry,) = store.list()
+        assert entry.objects == 3
+        assert entry.sources == 1
+        assert entry.real_world_type == "MOVIE"
+
+    def test_manifest_missing_falls_back_to_snapshot(
+        self, example_dir, tmp_path
+    ):
+        """Pre-manifest stores (or a deleted sidecar) keep cataloging
+        through the slow path."""
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        digest = store.save(spec, spec.build_session())
+        store._manifest_path(digest).unlink()
+        (entry,) = store.list()
+        assert entry.digest == digest
+        assert entry.objects == 3
+
+    def test_spec_for_round_trips_a_working_session(
+        self, example_dir, tmp_path
+    ):
+        """The manifest records the build spec, so a server can warm a
+        session knowing only the digest."""
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        digest = store.save(spec, spec.build_session())
+        recovered = store.spec_for(digest)
+        assert recovered is not None
+        assert store.key_for(recovered) == digest
+        warm = store.load(recovered, digest=digest)
+        assert warm is not None
+        assert [m.object_id for m in warm.match(0)] == [1]
+
+    def test_spec_for_unknown_digest_is_none(self, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        assert store.spec_for("f" * 64) is None
+
+    def test_resolve_digest_prefix(self, example_dir, tmp_path):
+        spec = example_spec(example_dir)
+        store = IndexStore(tmp_path / "store")
+        assert store.resolve_digest("ab") is None  # empty store
+        digest = store.save(spec, spec.build_session())
+        assert store.resolve_digest(digest[:8]) == digest
+        assert store.resolve_digest(digest) == digest
+        assert store.resolve_digest("not-a-digest") is None
 
 
 class TestCLI:

@@ -1,0 +1,304 @@
+"""The detection daemon: routes, parity, locks, LRU, uploads.
+
+The serving contract: every response is derived from a
+:class:`~repro.api.DetectionSession` exactly as a direct caller would
+see it — ``/match`` is bit-identical to ``session.match()``, ``/detect``
+to ``session.detect()`` — with corpora addressed by the
+:class:`~repro.ingest.IndexStore` content digest, warm-started from the
+store on a resident miss, and guarded by per-session readers-writer
+locks (concurrency itself is stressed in
+``tests/test_session_concurrency.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import RunSpec
+from repro.datagen import (
+    PAPER_EXAMPLE_XML,
+    PAPER_EXAMPLE_XSD,
+    paper_example_mapping,
+)
+from repro.serve import DetectionServer, ServeClient, ServeError
+from repro.xmlkit import parse
+
+NEW_MOVIE = (
+    "<moviedoc><movie><title>The Matrix</title><year>1999</year>"
+    "<actor><name>K. Reeves</name><role>Neo</role></actor>"
+    "</movie></moviedoc>"
+)
+
+
+def write_example(directory) -> RunSpec:
+    (directory / "movies.xml").write_text(PAPER_EXAMPLE_XML, encoding="utf-8")
+    (directory / "movies.xsd").write_text(PAPER_EXAMPLE_XSD, encoding="utf-8")
+    (directory / "mapping.xml").write_text(
+        paper_example_mapping().to_xml(), encoding="utf-8"
+    )
+    return example_spec(directory)
+
+
+def example_spec(directory, **overrides) -> RunSpec:
+    fields = dict(
+        documents=[str(directory / "movies.xml")],
+        mapping=str(directory / "mapping.xml"),
+        real_world_type="MOVIE",
+        schemas=[str(directory / "movies.xsd")],
+        heuristic="rdistant:2",
+        theta_tuple=0.55,
+        theta_cand=0.55,
+        use_object_filter=False,
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+def start_server(store_dir, **kwargs) -> tuple[DetectionServer, ServeClient]:
+    server = DetectionServer(
+        ("127.0.0.1", 0), str(store_dir), quiet=True, **kwargs
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, ServeClient(f"http://127.0.0.1:{server.port}")
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One daemon over the paper example for the whole module."""
+    tmp = tmp_path_factory.mktemp("serve")
+    spec = write_example(tmp)
+    server, client = start_server(tmp / "store")
+    digest = client.open_corpus(spec)["digest"]
+    yield SimpleNamespace(
+        server=server, client=client, spec=spec, digest=digest, tmp=tmp
+    )
+    server.shutdown()
+    server.server_close()
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        health = served.client.healthz()
+        assert health["status"] == "ok"
+        assert health["sessions"] >= 1
+
+    def test_open_is_idempotent_and_resident(self, served):
+        opened = served.client.open_corpus(served.spec)
+        assert opened["digest"] == served.digest
+        assert opened["origin"] == "session"
+        assert opened["objects"] == 3
+
+    def test_restarted_daemon_warm_loads_from_store(self, served):
+        server, client = start_server(served.tmp / "store")
+        try:
+            opened = client.open_corpus(served.spec)
+            assert opened["digest"] == served.digest
+            assert opened["origin"] == "warm"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_catalog_lists_snapshot_and_resident(self, served):
+        catalog = served.client.catalog()
+        digests = {snap["digest"] for snap in catalog["snapshots"]}
+        assert served.digest in digests
+        assert served.digest in catalog["loaded"]
+
+    def test_unknown_route_404(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_spec_400(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client.open_corpus({"documents": ["x.xml"]})
+        assert excinfo.value.status == 400
+
+
+class TestMatch:
+    def test_match_bit_identical_to_session(self, served):
+        session = served.spec.build_session()
+        for od in session.ods:
+            expected = [
+                {"object_id": m.object_id, "similarity": m.similarity,
+                 "path": m.path}
+                for m in session.match(od.object_id)
+            ]
+            response = served.client.match(
+                served.digest, object_id=od.object_id
+            )
+            assert response["matches"] == expected
+
+    def test_match_theta_and_top_params(self, served):
+        session = served.spec.build_session()
+        all_partners = served.client.match(
+            served.digest, object_id=0, theta_cand=0.1
+        )["matches"]
+        expected = session.match(0, theta_cand=0.1)
+        assert [m["object_id"] for m in all_partners] == [
+            m.object_id for m in expected
+        ]
+        top = served.client.match(
+            served.digest, object_id=0, theta_cand=0.1, top=1
+        )["matches"]
+        assert top == all_partners[:1]
+
+    def test_match_by_digest_prefix(self, served):
+        response = served.client.match(served.digest[:10], object_id=0)
+        assert response["digest"] == served.digest
+
+    def test_match_foreign_element(self, served):
+        matrix = (
+            "<moviedoc><movie><title>The Matrix</title>"
+            "<year>1999</year></movie></moviedoc>"
+        )
+        response = served.client.match(served.digest, element=matrix)
+        assert {m["object_id"] for m in response["matches"]} == {0, 1}
+
+    def test_match_ambiguous_document_400(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client.match(served.digest, element=PAPER_EXAMPLE_XML)
+        assert excinfo.value.status == 400
+        assert "candidate elements" in excinfo.value.message
+
+    def test_match_no_candidate_400(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client.match(
+                served.digest, element="<other><thing/></other>"
+            )
+        assert excinfo.value.status == 400
+
+    def test_match_unknown_object_404(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client.match(served.digest, object_id=99)
+        assert excinfo.value.status == 404
+
+    def test_match_unknown_digest_404(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client.match("f" * 64, object_id=0)
+        assert excinfo.value.status == 404
+
+    def test_match_needs_a_target(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client._request(
+                "GET", f"/corpora/{served.digest}/match"
+            )
+        assert excinfo.value.status == 400
+
+
+class TestDetect:
+    def test_detect_bit_identical_to_session(self, served):
+        session = served.spec.build_session()
+        expected = session.detect()
+        response = served.client.detect(served.digest)
+        assert response["xml"] == expected.to_xml()
+        assert response["summary"] == expected.summary()
+        assert {
+            (left, right) for left, right, _ in response["duplicates"]
+        } == expected.duplicate_id_pairs()
+
+    def test_detect_theta_override(self, served):
+        session = served.spec.build_session()
+        response = served.client.detect(served.digest, theta_cand=0.99)
+        assert response["xml"] == session.detect(theta_cand=0.99).to_xml()
+
+
+class TestExtendAndUploads:
+    def test_extend_grows_the_session(self, served):
+        # A separate digest so the shared-session parity tests above
+        # never observe the in-memory extension (theta_cand is a
+        # run-time knob outside the content key; theta_tuple is not).
+        spec = example_spec(served.tmp, theta_tuple=0.56)
+        digest = served.client.open_corpus(spec)["digest"]
+        assert digest != served.digest
+        update = served.client.extend(digest, NEW_MOVIE)
+        assert update["added"] == [3]
+        assert update["objects"] == 4
+        found = served.client.match(digest, object_id=3)["matches"]
+        assert {m["object_id"] for m in found} == {0, 1}
+        # The extension is in-memory only: the reference twin must be
+        # extended the same way to agree.
+        twin = spec.build_session()
+        twin.extend(parse(NEW_MOVIE))
+        expected = [
+            {"object_id": m.object_id, "similarity": m.similarity,
+             "path": m.path}
+            for m in twin.match(3)
+        ]
+        assert served.client.match(digest, object_id=3)["matches"] == expected
+
+    def test_extend_rejects_garbage(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client.extend(served.digest, "<not-xml")
+        assert excinfo.value.status == 400
+
+    def test_inline_uploads(self, served):
+        spec = dict(
+            documents=["up-movies.xml"],
+            mapping="up-mapping.xml",
+            real_world_type="MOVIE",
+            schemas=["up-movies.xsd"],
+            heuristic="rdistant:2",
+            theta_tuple=0.55,
+            theta_cand=0.55,
+            use_object_filter=False,
+        )
+        files = {
+            "up-movies.xml": PAPER_EXAMPLE_XML,
+            "up-movies.xsd": PAPER_EXAMPLE_XSD,
+            "up-mapping.xml": paper_example_mapping().to_xml(),
+        }
+        opened = served.client.open_corpus(spec, files=files)
+        assert opened["objects"] == 3
+        found = served.client.match(opened["digest"], object_id=0)["matches"]
+        assert [m["object_id"] for m in found] == [1]
+
+    def test_upload_names_are_sanitized(self, served):
+        with pytest.raises(ServeError) as excinfo:
+            served.client.open_corpus(
+                {"documents": ["x"], "mapping": "m",
+                 "real_world_type": "MOVIE"},
+                files={"../evil.xml": "<x/>"},
+            )
+        assert excinfo.value.status == 400
+
+
+class TestRegistry:
+    def test_lru_eviction_and_warm_reload(self, served):
+        server, client = start_server(served.tmp / "store", max_sessions=1)
+        try:
+            first = client.open_corpus(served.spec)
+            assert first["origin"] == "warm"
+            # A different OD-shaping config is a different content key.
+            other = example_spec(served.tmp, theta_tuple=0.60)
+            second = client.open_corpus(other)
+            assert second["digest"] != first["digest"]
+            assert client.catalog()["loaded"] == [second["digest"]]
+            # The evicted corpus still answers: warm reload by digest.
+            found = client.match(first["digest"], object_id=0)["matches"]
+            assert [m["object_id"] for m in found] == [1]
+            assert client.catalog()["loaded"] == [first["digest"]]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestServeCLI:
+    def test_serve_requires_store(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--store", "s"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.max_sessions == 4
+        assert not args.quiet

@@ -1,0 +1,336 @@
+"""Shared-state safety of the session read path.
+
+``DetectionSession.match()`` is served concurrently (``repro.serve``),
+so its read path must not mutate shared state in racy ways.  Pinned
+here:
+
+* foreign sentinel allocation is atomic — the old read-modify-write on
+  an instance attribute let two threads draw the same id, conflating
+  two foreign elements in per-id memos (``ObjectFilter.decide``);
+* the per-theta kept-set memo — ``match(theta_cand=...)`` at a
+  non-default threshold used to re-run the full O(n) object-filter
+  pass on every call — with single-assignment publication, an LRU
+  bound, and parity against the unmemoized pass;
+* the index freeze seam — a session's index rejects structural
+  mutation outside ``extend()``;
+* the slow thread-stress: N threads hammer ``match()`` (ids and
+  foreign elements) on one warm session while ``extend()`` runs behind
+  the writer lock, and every response is bit-identical to a serial
+  session in the corresponding state.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.api import Corpus, DetectionSession
+from repro.core import DogmatixConfig, ObjectFilter, RDistantDescendants, Source
+from repro.core.index import IndexPartial
+from repro.datagen import (
+    cd_to_element,
+    generate_cds,
+    paper_example_document,
+    paper_example_mapping,
+    paper_example_schema,
+)
+from repro.eval import build_dataset1
+from repro.serve import ReadWriteLock
+from repro.xmlkit import Document, Element, parse, serialize
+
+
+def paper_session(**config_overrides) -> DetectionSession:
+    fields = dict(
+        heuristic=RDistantDescendants(2),
+        theta_tuple=0.55,
+        theta_cand=0.55,
+    )
+    fields.update(config_overrides)
+    config = DogmatixConfig(**fields)
+    return DetectionSession(
+        Source(paper_example_document(), paper_example_schema()),
+        paper_example_mapping(),
+        "MOVIE",
+        config,
+    )
+
+
+@pytest.fixture()
+def greedy_switching():
+    """Force aggressive GIL hand-offs so races surface reliably."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+class TestForeignSentinelAllocation:
+    def test_ids_unique_across_threads(self, greedy_switching):
+        """Regression: two concurrent match() calls on foreign elements
+        could draw the same sentinel id (the allocator was a
+        read-modify-write of ``self._last_foreign_id``), silently
+        applying one element's filter verdict to the other wherever a
+        per-id memo outlives a lookup."""
+        session = paper_session()
+        threads, per_thread = 8, 400
+        drawn: list[list[int]] = [[] for _ in range(threads)]
+        barrier = threading.Barrier(threads)
+
+        def allocate(slot: int) -> None:
+            barrier.wait()
+            bucket = drawn[slot]
+            for _ in range(per_thread):
+                bucket.append(session._foreign_object_id())
+
+        workers = [
+            threading.Thread(target=allocate, args=(slot,))
+            for slot in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        ids = [sentinel for bucket in drawn for sentinel in bucket]
+        assert len(set(ids)) == threads * per_thread
+        corpus_ids = {od.object_id for od in session.ods}
+        assert not corpus_ids.intersection(ids)
+
+    def test_foreign_elements_never_share_an_id(self, greedy_switching):
+        """Public-path variant: concurrent lookups on distinct foreign
+        elements must resolve to distinct sentinel ids (visible through
+        ``explain()``, which reports the resolved ids)."""
+        session = paper_session()
+        threads = 8
+        documents = [
+            parse(
+                "<moviedoc><movie><title>Troy</title><year>2004</year>"
+                "</movie></moviedoc>"
+            )
+            for _ in range(threads)
+        ]
+        resolved: list[int] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(threads)
+
+        def lookup(slot: int) -> None:
+            barrier.wait()
+            for _ in range(50):
+                explanation = session.explain(documents[slot].root.children[0], 0)
+                with lock:
+                    resolved.append(explanation.left)
+
+        workers = [
+            threading.Thread(target=lookup, args=(slot,))
+            for slot in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(set(resolved)) == threads * 50
+
+    def test_ids_stay_below_extended_corpus(self):
+        session = paper_session()
+        first = session._foreign_object_id()
+        session.extend(
+            parse(
+                "<moviedoc><movie><title>Heat</title><year>1995</year>"
+                "</movie></moviedoc>"
+            )
+        )
+        second = session._foreign_object_id()
+        corpus_ids = {od.object_id for od in session.ods}
+        assert second < first < min(corpus_ids)
+
+
+class TestKeptSetMemo:
+    def test_non_default_theta_filter_pass_runs_once(self, monkeypatch):
+        """Regression: ``match(theta_cand=...)`` off the default
+        threshold re-ran the full O(n) object-filter pass per call — a
+        server hot-path trap."""
+        import repro.api.session as session_module
+
+        session = paper_session(use_object_filter=True, theta_cand=0.3)
+        constructed = []
+        real_filter = session_module.ObjectFilter
+
+        class CountingFilter(real_filter):
+            def __init__(self, *args, **kwargs):
+                constructed.append(args)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(session_module, "ObjectFilter", CountingFilter)
+        session.match(0, theta_cand=0.25)
+        assert len(constructed) == 1
+        session.match(0, theta_cand=0.25)
+        session.match(1, theta_cand=0.25)
+        assert len(constructed) == 1  # memoized: no second O(n) pass
+        session.match(0, theta_cand=0.35)
+        assert len(constructed) == 2  # a new theta is a new pass
+
+    def test_memo_parity_with_unmemoized_pass(self):
+        session = paper_session(use_object_filter=True, theta_cand=0.3)
+        for theta in (0.25, 0.3, 0.35, 0.25):
+            memoized = session._kept_for(theta)
+            fresh_filter = ObjectFilter(session.index, theta)
+            fresh = frozenset(
+                od.object_id
+                for od in session.ods
+                if fresh_filter.keep(od)
+            )
+            assert memoized == fresh, f"kept-set memo diverged at {theta}"
+
+    def test_memo_is_bounded(self):
+        import repro.api.session as session_module
+
+        session = paper_session(use_object_filter=True, theta_cand=0.3)
+        for step in range(3 * session_module._KEPT_CACHE_SIZE):
+            session._kept_for(0.2 + step / 1000)
+        assert len(session._kept_cache) <= session_module._KEPT_CACHE_SIZE
+
+    def test_extend_invalidates_the_memo(self):
+        session = paper_session(use_object_filter=True, theta_cand=0.3)
+        session.match(0, theta_cand=0.25)
+        assert session._kept_cache
+        session.extend(
+            parse(
+                "<moviedoc><movie><title>Heat</title><year>1995</year>"
+                "</movie></moviedoc>"
+            )
+        )
+        assert not session._kept_cache
+
+
+class TestFrozenIndex:
+    def test_session_index_rejects_structural_mutation(self):
+        session = paper_session()
+        assert session.index.frozen
+        delta = IndexPartial(total_objects=1)
+        with pytest.raises(RuntimeError, match="frozen"):
+            session.index.merge_partial(delta)
+
+    def test_extend_thaws_merges_and_refreezes(self):
+        session = paper_session()
+        update = session.extend(
+            parse(
+                "<moviedoc><movie><title>The Matrix</title>"
+                "<year>1999</year></movie></moviedoc>"
+            )
+        )
+        assert update.added
+        assert session.index.frozen
+        # The merge landed: the new object is indexed and reachable.
+        assert session.index.total_objects == 4
+        assert update.added[0].object_id in {
+            m.object_id for m in session.match(0, theta_cand=0.1)
+        }
+
+
+def _extension_source() -> Document:
+    """Five fresh CDs as a Dataset-1-shaped document."""
+    root = Element("freedb")
+    for record in generate_cds(5, seed=991):
+        root.append(cd_to_element(record))
+    return Document(root)
+
+
+def _snapshot(matches) -> tuple:
+    return tuple((m.object_id, m.similarity, m.path) for m in matches)
+
+
+@pytest.mark.slow
+class TestMatchStress:
+    def test_concurrent_match_with_extend_is_bit_identical(self):
+        """8 threads hammer match() (ids + foreign elements) on one
+        warm session while extend() runs behind the writer lock; every
+        observed response must equal the serial answer of either the
+        pre- or the post-extension corpus, and the final state must be
+        bit-identical to a serially extended twin."""
+        dataset = build_dataset1(40, seed=7)
+        config = DogmatixConfig()
+
+        def build() -> DetectionSession:
+            return DetectionSession(
+                Corpus(dataset.sources),
+                dataset.mapping,
+                dataset.real_world_type,
+                config,
+            )
+
+        session = build()
+        extension = _extension_source()
+        # Foreign query elements: a fresh parse of the first source —
+        # same path shape as the corpus (so the mapping accepts them),
+        # but new Element objects, so they resolve as foreign.
+        copy = parse(serialize(dataset.sources[0].document))
+        foreign_targets = {
+            f"foreign-{i}": copy.root.children[i] for i in (0, 3)
+        }
+        id_targets = {
+            f"id-{od.object_id}": od.object_id
+            for od in list(session.ods)[:: max(1, len(session.ods) // 16)]
+        }
+        targets = {**id_targets, **foreign_targets}
+
+        # Serial references: the session before, and a twin extended
+        # the same way (serially), after.
+        before = {
+            key: _snapshot(session.match(target))
+            for key, target in targets.items()
+        }
+        twin = build()
+        twin.extend(Source(_extension_source()))
+        after = {
+            key: _snapshot(twin.match(target))
+            for key, target in targets.items()
+        }
+        assert before != after, "extension must change some answer"
+
+        lock = ReadWriteLock()
+        failures: list[str] = []
+        errors: list[str] = []
+        start = threading.Barrier(9)
+        rounds = 12
+
+        def reader(offset: int) -> None:
+            keys = list(targets)
+            start.wait()
+            for i in range(rounds * len(keys)):
+                key = keys[(offset + i) % len(keys)]
+                try:
+                    with lock.read_locked():
+                        got = _snapshot(session.match(targets[key]))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(f"{key}: {type(exc).__name__}: {exc}")
+                    return
+                if got != before[key] and got != after[key]:
+                    failures.append(key)
+
+        def writer() -> None:
+            start.wait()
+            with lock.write_locked():
+                session.extend(Source(extension))
+
+        threads = [
+            threading.Thread(target=reader, args=(n,)) for n in range(8)
+        ]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, f"match() raised under concurrency: {errors[:3]}"
+        assert not failures, (
+            f"{len(failures)} response(s) matched neither the pre- nor "
+            f"post-extension serial answer, e.g. {sorted(set(failures))[:5]}"
+        )
+        # Final state: bit-identical to the serially extended twin.
+        for key, target in targets.items():
+            assert _snapshot(session.match(target)) == after[key], (
+                f"post-stress state diverged from the serial twin at {key}"
+            )
