@@ -1,0 +1,67 @@
+"""Invariant lint: the codebase's concurrency/determinism contracts as code.
+
+PRs 1-6 each paid for the same bug classes by hand: live memoized
+containers escaping shared readers, racy read-modify-writes on session
+state, per-process-randomized ``hash()`` breaking cross-worker
+determinism, and index mutation outside the freeze/writer-lock
+discipline.  This package checks those invariants *statically* — a
+custom AST pass over ``src/`` (stdlib ``ast`` only, no new
+dependencies) gating CI and the tier-1 suite, so the contracts hold in
+every future PR instead of being rediscovered under load.
+
+Entry points::
+
+    python -m repro.cli lint src/              # text report, exit 0/1
+    python -m repro.cli lint src/ --format json
+
+    from repro.analysis import lint_paths
+    result = lint_paths(["src"])
+    assert result.clean
+
+Deliberate exceptions annotate in place::
+
+    self.probes += 1  # repro: allow[RPR004] informational counter
+
+Unused pragmas are themselves findings (``RPR000``); each rule module
+under :mod:`repro.analysis.rules` documents the invariant it encodes
+and the PR that learned it.  See ROADMAP "Static analysis &
+invariants" for the code-to-contract map.
+"""
+
+from .base import RULES, Rule, all_rules, register
+from .checker import LintResult, iter_python_files, lint_file, lint_paths, lint_source
+from .config import DEFAULT_CONFIG, LintConfig
+from .context import FileContext, Suppression, parse_suppressions
+from .findings import Finding, PARSE_ERROR, UNUSED_SUPPRESSION
+from .reporters import (
+    JSON_FORMAT_VERSION,
+    render_json,
+    render_text,
+    result_from_json,
+    result_to_dict,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "JSON_FORMAT_VERSION",
+    "LintConfig",
+    "LintResult",
+    "PARSE_ERROR",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "UNUSED_SUPPRESSION",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "result_from_json",
+    "result_to_dict",
+]

@@ -1,0 +1,151 @@
+"""The checker: run rules over sources, apply suppressions, collect.
+
+The flow per file: parse (a syntax error is itself a finding, code
+``RPR900`` — the gate must fail, not pass vacuously), run every rule,
+then split the raw findings into *active* and *suppressed* using the
+``# repro: allow[RPR0xx]`` pragmas.  When the full registry ran, a
+pragma that suppressed nothing becomes an ``RPR000`` finding — stale
+allows must not accumulate and silently blanket future violations.
+Unused-pragma detection is skipped for partial rule runs (fixture
+tests exercising one rule would otherwise flag every other pragma).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from . import rules as _rules  # noqa: F401 - imports register the rules
+from .base import Rule, all_rules
+from .config import LintConfig
+from .context import FileContext
+from .findings import Finding, PARSE_ERROR, UNUSED_SUPPRESSION
+
+
+@dataclass
+class LintResult:
+    """Outcome of one checker run (one or many files)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "LintResult") -> "LintResult":
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files += other.files
+        return self
+
+    def sort(self) -> "LintResult":
+        self.findings.sort()
+        self.suppressed.sort()
+        return self
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Check one source string.
+
+    ``rules=None`` runs the full registry (and enables unused-pragma
+    detection); an explicit subset runs only those rules.
+    """
+    result = LintResult(files=1)
+    try:
+        ctx = FileContext.build(source, path=path, module=module, config=config)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                code=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result
+    full_registry = rules is None
+    active_rules: Iterable[Rule] = all_rules() if rules is None else rules
+    raw: list[Finding] = []
+    for rule in active_rules:
+        raw.extend(rule.check(ctx))
+    for finding in raw:
+        suppression = ctx.suppressions.get(finding.line)
+        if suppression is not None and finding.code in suppression.codes:
+            suppression.used.add(finding.code)
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    if full_registry:
+        for suppression in ctx.suppressions.values():
+            for code in suppression.unused_codes():
+                result.findings.append(
+                    Finding(
+                        path=path,
+                        line=suppression.comment_line,
+                        col=1,
+                        code=UNUSED_SUPPRESSION,
+                        message=(
+                            f"suppression allow[{code}] matches no "
+                            "finding on its line; remove the stale "
+                            "pragma (it would silently blanket a future "
+                            "violation)"
+                        ),
+                    )
+                )
+    return result.sort()
+
+
+def lint_file(
+    path: str,
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, config=config, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted, deduplicated file list.
+
+    Sorted so reports (and finding order) are stable across platforms —
+    the checker honors the determinism contract it enforces.
+    """
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames if name != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        found.add(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            found.add(path)
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Check every ``*.py`` under the given files/directories."""
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        result.merge(lint_file(file_path, config=config, rules=rules))
+    return result.sort()

@@ -1,0 +1,88 @@
+"""Checker configuration: which classes/modules carry which contracts.
+
+The rules are generic AST patterns; this config binds them to the
+concrete contracts of this codebase (see ROADMAP "Static analysis &
+invariants").  Everything is overridable so rule fixtures can test the
+patterns against synthetic classes without masquerading as the real
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Binds the invariant rules to this codebase's contracts."""
+
+    #: Classes whose instances are shared across reader threads (the
+    #: serve layer's lock-free ``match()`` path) or across requests.
+    #: RPR001 forbids their public methods leaking live containers;
+    #: RPR004 forbids unlocked read-modify-writes on their attributes.
+    shared_classes: frozenset[str] = frozenset(
+        {
+            "CorpusIndex",
+            "QGramIndex",
+            "DetectionSession",
+            "DogmatixSimilarity",
+            "SessionRegistry",
+            "SessionEntry",
+            "ReadWriteLock",
+            "IndexStore",
+        }
+    )
+
+    #: Classes pinned read-only after build (``freeze()``/``thaw()``
+    #: seam).  RPR003 restricts state mutation to the sanctioned
+    #: writer set below.
+    frozen_classes: frozenset[str] = frozenset({"CorpusIndex"})
+
+    #: The sanctioned writers of a frozen class: construction, the one
+    #: delta-merge seam, and the pin itself.  Writers other than
+    #: ``__init__``/``freeze``/``thaw`` must also assert mutability
+    #: (reference ``self._frozen``) so a frozen instance fails loudly.
+    frozen_writers: frozenset[str] = frozenset(
+        {"__init__", "merge_partial", "freeze", "thaw"}
+    )
+
+    #: Memo-cache attributes exempt from the freeze discipline: their
+    #: entries are idempotent per-key values computed from frozen
+    #: state, and CPython dict assignment is atomic (see
+    #: ``CorpusIndex.freeze``).
+    frozen_memo_attrs: frozenset[str] = frozenset(
+        {"_similar_cache", "_pair_idf_cache"}
+    )
+
+    #: Module prefixes where result/serialization ordering feeds the
+    #: bit-identical parity contract — RPR005 flags ordered collections
+    #: built directly from set iteration there.
+    parity_modules: tuple[str, ...] = (
+        "repro.framework",
+        "repro.core",
+        "repro.engine",
+        "repro.api",
+        "repro.ingest",
+        "repro.serve",
+    )
+
+    #: Known set-returning methods of the index/API surface — the
+    #: type-inference seed for RPR005 (pure AST analysis cannot see
+    #: return annotations across modules).
+    set_returning_methods: frozenset[str] = frozenset(
+        {
+            "occurrences",
+            "objects_with_key",
+            "objects_with_similar",
+            "block_members",
+            "od_terms",
+            "block_keys",
+        }
+    )
+
+    #: Where RPR002 points violators for a process-stable hash.
+    stable_hash_hint: str = "repro.engine.sharder.stable_hash"
+
+
+#: The default binding for this repository.
+DEFAULT_CONFIG = LintConfig()

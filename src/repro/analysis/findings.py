@@ -1,0 +1,68 @@
+"""Finding values the invariant checker reports.
+
+A finding is one violation of a codebase contract at one source
+location.  Codes are stable identifiers (``RPR0xx``) so suppressions
+(``# repro: allow[RPR0xx]``), reporters, and CI greps can refer to a
+rule without depending on its message text.
+
+Reserved codes outside the rule registry:
+
+* ``RPR000`` — a suppression pragma that suppressed nothing (stale
+  ``allow`` comments must not accumulate and silently blanket future
+  violations);
+* ``RPR900`` — a file the checker could not parse (a syntax error is a
+  finding, not a crash: the lint gate must fail, not pass vacuously).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Meta-code: an ``allow`` pragma whose codes suppressed no finding.
+UNUSED_SUPPRESSION = "RPR000"
+#: Meta-code: the file could not be parsed at all.
+PARSE_ERROR = "RPR900"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, code) so reports are deterministic
+    regardless of rule execution order — the checker's own output is
+    held to the determinism contract it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str = field(compare=False)
+    #: Dotted location (``Class.method``) when the rule knows it.
+    symbol: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{where}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            code=str(data["code"]),
+            message=str(data["message"]),
+            symbol=str(data.get("symbol", "")),
+        )

@@ -1,0 +1,69 @@
+"""Text and JSON renderings of a :class:`~repro.analysis.checker.LintResult`.
+
+The text form is the human/CI-log view (one canonical line per
+finding, then a summary).  The JSON form is the machine view — a
+versioned document CI uploads as an artifact; its schema round-trips
+(``result_from_json(render_json(r))`` reconstructs the findings), which
+``tests/test_analysis_checker.py`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .checker import LintResult
+from .findings import Finding
+
+#: Bump when the JSON document layout changes (same policy as the
+#: index store: readers treat unknown versions as unusable, never
+#: migrate in place).
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+    """One line per finding plus a summary (always non-empty)."""
+    lines = [finding.render() for finding in result.findings]
+    if show_suppressed:
+        lines.extend(
+            f"{finding.render()}  (suppressed)" for finding in result.suppressed
+        )
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} "
+        f"({len(result.suppressed)} suppressed) in {result.files} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def result_to_dict(result: LintResult) -> dict[str, object]:
+    counts = Counter(finding.code for finding in result.findings)
+    return {
+        "version": JSON_FORMAT_VERSION,
+        "tool": "repro-lint",
+        "files": result.files,
+        "counts": dict(sorted(counts.items())),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> LintResult:
+    """Reconstruct a result from the JSON document (schema round trip)."""
+    data = json.loads(text)
+    version = data.get("version")
+    if version != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported lint report version {version!r} "
+            f"(this reader handles {JSON_FORMAT_VERSION})"
+        )
+    result = LintResult(files=int(data.get("files", 0)))
+    result.findings = [Finding.from_dict(raw) for raw in data.get("findings", [])]
+    result.suppressed = [
+        Finding.from_dict(raw) for raw in data.get("suppressed", [])
+    ]
+    return result

@@ -1,0 +1,18 @@
+"""The invariant rules, one module per PR-discovered contract.
+
+Importing this package registers every rule with
+:data:`repro.analysis.base.RULES`:
+
+* ``RPR001`` live-container escape            (PRs 1, 6)
+* ``RPR002`` process-randomized ``hash()``    (PR 3)
+* ``RPR003`` frozen-index discipline          (PR 6)
+* ``RPR004`` non-atomic read-modify-write     (PR 6)
+* ``RPR005`` nondeterministic set ordering    (parity contract, all PRs)
+* ``RPR006`` unpicklable pool payloads        (PRs 1, 5)
+"""
+
+from . import atomic, containers, frozen, hashing, ordering, pickling  # noqa: F401
+
+from ..base import RULES, all_rules
+
+__all__ = ["RULES", "all_rules"]

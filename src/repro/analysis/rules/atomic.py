@@ -1,0 +1,91 @@
+"""RPR004 — read-modify-write on shared state needs a lock (or a pragma).
+
+The invariant (learned in PR 6): ``self.x += 1`` and
+``self.x = self.x + ...`` are not atomic — the interpreter reads,
+computes, and writes in separate bytecodes, so two threads interleaving
+on a shared instance lose updates.  The foreign-sentinel-id allocator
+was exactly this bug: two concurrent ``match(element)`` calls drew the
+same id and conflated per-id filter memos.
+
+Pattern: inside a configured shared class, an augmented assignment on
+``self.X``/``self.X[...]``, or a plain assignment whose right-hand side
+reads the same ``self.X``, lexically outside every ``with <lock>``
+block.  "Lock-like" context managers are recognized by name
+(``lock``/``cond``/``gate``/``mutex``, case-insensitive).
+Constructors are exempt — the instance is not shared yet.  Deliberate
+exceptions (informational counters whose lost increments are
+acceptable, methods serialized by an *external* writer lock) carry
+``# repro: allow[RPR004]`` with a one-line justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..base import Rule, methods, register, self_attr, unparse, walk_method
+from ..context import FileContext, ancestors
+from ..findings import Finding
+
+_LOCK_NAME = re.compile(r"(?i)lock|cond|gate|mutex|sem")
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@register
+class NonAtomicReadModifyWrite(Rule):
+    code = "RPR004"
+    name = "non-atomic-read-modify-write"
+    summary = (
+        "read-modify-write on thread-shared attributes must hold a "
+        "lock (+= is not atomic)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for classdef in ctx.classes():
+            if classdef.name not in ctx.config.shared_classes:
+                continue
+            for method in methods(classdef):
+                if method.name in _CONSTRUCTORS:
+                    continue  # not shared until construction returns
+                for node in walk_method(method):
+                    attr = self._rmw_attr(node)
+                    if attr is None or self._under_lock(node):
+                        continue
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"read-modify-write on shared attribute "
+                        f"self.{attr} outside a lock: two threads "
+                        "interleaving here lose an update (the PR 6 "
+                        "sentinel-id race); hold the owning lock, use an "
+                        "atomic primitive (itertools.count), or annotate "
+                        "why the race is benign",
+                        symbol=f"{classdef.name}.{method.name}",
+                    )
+
+    @staticmethod
+    def _rmw_attr(node: ast.AST) -> Optional[str]:
+        """The ``self`` attribute this statement RMWs, if any."""
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            return self_attr(target)
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            attr = self_attr(node.targets[0])
+            if attr is not None and any(
+                self_attr(sub) == attr for sub in ast.walk(node.value)
+            ):
+                return attr
+        return None
+
+    @staticmethod
+    def _under_lock(node: ast.AST) -> bool:
+        for ancestor in ancestors(node):
+            if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                continue
+            for item in ancestor.items:
+                if _LOCK_NAME.search(unparse(item.context_expr)):
+                    return True
+        return False

@@ -591,6 +591,9 @@ class DetectionSession:
             sources=[added_source],
             next_id=self._next_id,
         )
+        # repro: allow[RPR004] extend() is the session's one writer: it
+        # runs behind the per-session writer lock when serving (see
+        # repro.serve.sessions) and single-threaded otherwise
         self._next_id += len(new_ods)
         # Delta-merge the index first: clustering (and every later
         # query) scores against statistics that include the new data,
@@ -616,6 +619,7 @@ class DetectionSession:
             )
             self._incremental.add_all(self._ods)
         self._ods.extend(new_ods)
+        # repro: allow[RPR004] writer-lock-serialized (see _next_id note)
         self._indexed_ids |= frozenset(od.object_id for od in new_ods)
         assignments: list[tuple[int, int]] = []
         for od in new_ods:

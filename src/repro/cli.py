@@ -6,6 +6,7 @@
     python -m repro.cli index build --spec run.json --store DIR
     python -m repro.cli index list --store DIR
     python -m repro.cli serve --store DIR [--port N]
+    python -m repro.cli lint [PATH...] [--format text|json]
     python -m repro.cli suggest DOCUMENT [--schema SCHEMA.xsd]
     python -m repro.cli example [--write DIR]
 
@@ -17,6 +18,10 @@ content-addressed snapshot that later ``dedup``/``match`` invocations
 warm-start from via ``--store`` (``index list`` catalogs a store);
 ``serve`` runs the detection-as-a-service HTTP daemon over a store
 (see :mod:`repro.serve`);
+``lint`` runs the invariant checker (:mod:`repro.analysis`) over
+python sources — the concurrency/determinism contracts of ROADMAP
+"Static analysis & invariants" as a gating static pass (exit 1 on any
+finding);
 ``suggest`` ranks candidate element types of a document's (inferred or
 given) schema; ``example`` replays the paper's running example (or,
 with ``--write``, emits it as files plus a ready ``run.json`` spec).
@@ -219,6 +224,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "corpora warm-load again on demand)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the invariant checker over python sources",
+        description="Static analysis of the codebase's concurrency and "
+                    "determinism contracts (repro.analysis): live "
+                    "containers escaping shared classes, per-process "
+                    "hash(), frozen-index discipline, unlocked "
+                    "read-modify-writes, nondeterministic set ordering "
+                    "in parity modules, unpicklable pool payloads. "
+                    "Exit 0 when clean, 1 on any finding (unused "
+                    "suppression pragmas are findings too).",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="stdout format (text report or the versioned "
+                           "JSON document)")
+    lint.add_argument("--json-output", metavar="FILE", default=None,
+                      help="additionally write the JSON report here "
+                           "(CI artifact alongside the text log)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="list pragma-suppressed findings in the text "
+                           "report")
+    lint.add_argument("--rules", action="store_true", dest="list_rules",
+                      help="list the registered rules and exit")
 
     example = commands.add_parser(
         "example", help="run the paper's running example"
@@ -452,6 +483,25 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .analysis import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<32} {rule.summary}")
+        return 0
+    result = lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result))
+            handle.write("\n")
+    return 0 if result.clean else 1
+
+
 def _command_suggest(args: argparse.Namespace) -> int:
     document = parse_file(args.document)
     schema = (
@@ -542,6 +592,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_index(args, parser)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "suggest":
         return _command_suggest(args)
     return _command_example(args)

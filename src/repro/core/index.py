@@ -212,6 +212,9 @@ class CorpusIndex:
             raise ValueError(
                 f"cannot merge a q={partial.q} partial into a q={self.q} index"
             )
+        # repro: allow[RPR004] sanctioned writer: raises above when
+        # frozen, and runs single-threaded (construction) or behind the
+        # session writer lock (extend) — never concurrently with itself
         self.total_objects += partial.total_objects
         _fold_term_state(
             self._occurrences, self._objects_by_key, self._value_indexes, partial
@@ -326,7 +329,7 @@ class CorpusIndex:
     # ------------------------------------------------------------------
     # Blocking
     # ------------------------------------------------------------------
-    def block_terms(self) -> Iterable[tuple[str, str]]:
+    def block_terms(self) -> tuple[tuple[str, str], ...]:
         """All distinct (comparison key, value) terms of the corpus.
 
         These are exactly the possible shared-tuple block keys: a block
@@ -334,8 +337,14 @@ class CorpusIndex:
         of kind ``k``.  Sharded pair generation partitions *these* so a
         worker performs one similar-value search per owned term instead
         of one per corpus tuple (see ``engine.sharder``).
+
+        Returned as a tuple snapshot: the live ``.keys()`` view tracks
+        mutation, so a caller iterating it while ``extend()``
+        delta-merges new terms would see the set change mid-iteration
+        (``RuntimeError`` at best, silently shifted shard ownership at
+        worst) — the PR 6 escape class RPR001 exists to catch.
         """
-        return self._occurrences.keys()
+        return tuple(self._occurrences)
 
     def block_members(self, term: tuple[str, str]) -> set[int]:
         """Ids of the objects in the ``(key, value)`` term's block.

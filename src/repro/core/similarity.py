@@ -43,6 +43,8 @@ class DogmatixSimilarity:
 
     def from_matching(self, matching: TupleMatching) -> float:
         """Score a precomputed tuple matching."""
+        # repro: allow[RPR004] informational counter: concurrent match()
+        # readers may lose an increment; no decision depends on it
         self.evaluations += 1
         shared = set_soft_idf(matching.similar, self.index)
         contradictory = set_soft_idf(matching.contradictory, self.index)

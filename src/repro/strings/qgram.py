@@ -128,6 +128,8 @@ class QGramIndex:
         The query itself is included when indexed (``ned = 0``).
         Results are in insertion order.
         """
+        # repro: allow[RPR004] informational counter: lock-free readers
+        # of a frozen index may lose an increment; nothing decides on it
         self.probes += 1
         matched: set[int] = set()
         query_id = self._ids.get(query)
@@ -138,6 +140,7 @@ class QGramIndex:
                 if value_id == query_id:
                     continue
                 value = self._values[value_id]
+                # repro: allow[RPR004] informational counter (see probes)
                 self.verifications += 1
                 if within_normalized(query, value, threshold):
                     matched.add(value_id)

@@ -1,0 +1,496 @@
+"""Fixture self-tests for every invariant rule.
+
+Each rule gets at least one snippet it must fire on and the corrected
+form it must stay quiet on — the checker is itself held to the
+"pre-fix-failing regression test" discipline it enforces.
+"""
+
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import LintConfig, lint_source
+from repro.analysis.rules.atomic import NonAtomicReadModifyWrite
+from repro.analysis.rules.containers import LiveContainerEscape
+from repro.analysis.rules.frozen import FrozenIndexDiscipline
+from repro.analysis.rules.hashing import BuiltinHash
+from repro.analysis.rules.ordering import NondeterministicOrdering
+from repro.analysis.rules.pickling import UnpicklablePoolPayload
+
+#: Fixture classes are named so the default config treats them as
+#: shared/frozen without masquerading as the real modules.
+CONFIG = LintConfig(
+    shared_classes=frozenset({"Widget"}),
+    frozen_classes=frozenset({"Widget"}),
+    frozen_writers=frozenset({"__init__", "merge_partial", "freeze", "thaw"}),
+    frozen_memo_attrs=frozenset({"_memo"}),
+    parity_modules=("repro.fake",),
+    set_returning_methods=frozenset({"occurrences"}),
+)
+
+
+def run(rule, source, *, module="repro.fake.widget", config=CONFIG):
+    result = lint_source(
+        dedent(source),
+        path="src/repro/fake/widget.py",
+        module=module,
+        config=config,
+        rules=[rule],
+    )
+    assert not result.suppressed
+    return result.findings
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# RPR001 — live-container escape
+# ----------------------------------------------------------------------
+class TestLiveContainerEscape:
+    def test_fires_on_live_attribute_return(self):
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def __init__(self):
+                    self._items = []
+
+                def items(self):
+                    return self._items
+            """,
+        )
+        assert codes(findings) == ["RPR001"]
+        assert findings[0].symbol == "Widget.items"
+        assert "self._items" in findings[0].message
+
+    def test_fires_on_dict_view_return(self):
+        # The exact pre-fix CorpusIndex.block_terms() shape (PR 6 bug
+        # class): a live keys() view escaping a shared class.
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def __init__(self):
+                    self._occurrences = {}
+
+                def block_terms(self):
+                    return self._occurrences.keys()
+            """,
+        )
+        assert codes(findings) == ["RPR001"]
+        assert "keys" in findings[0].message
+
+    def test_quiet_on_snapshot_return(self):
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def __init__(self):
+                    self._items = []
+                    self._occurrences = {}
+
+                def items(self):
+                    return tuple(self._items)
+
+                def block_terms(self):
+                    return tuple(self._occurrences)
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_on_private_method_and_unshared_class(self):
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def __init__(self):
+                    self._items = []
+
+                def _raw(self):
+                    return self._items
+
+            class Unshared:
+                def __init__(self):
+                    self._items = []
+
+                def items(self):
+                    return self._items
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_on_non_container_attribute(self):
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def __init__(self):
+                    self._frozen = False
+
+                def frozen(self):
+                    return self._frozen
+            """,
+        )
+        assert findings == []
+
+    def test_fires_on_dataclass_field_container(self):
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                items: list = field(default_factory=list)
+
+                def all_items(self):
+                    return self._items
+            """,
+        )
+        # ``items`` is a container, but ``_items`` was never declared:
+        # only declared container attrs fire.
+        assert findings == []
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                _items: list = field(default_factory=list)
+
+                def all_items(self):
+                    return self._items
+            """,
+        )
+        assert codes(findings) == ["RPR001"]
+
+
+# ----------------------------------------------------------------------
+# RPR002 — builtin hash()
+# ----------------------------------------------------------------------
+class TestBuiltinHash:
+    def test_fires_outside_dunder_hash(self):
+        findings = run(
+            BuiltinHash(),
+            """
+            def shard_of(key, shards):
+                return hash(key) % shards
+            """,
+        )
+        assert codes(findings) == ["RPR002"]
+        assert "stable_hash" in findings[0].message
+
+    def test_quiet_inside_dunder_hash_and_on_stable_hash(self):
+        findings = run(
+            BuiltinHash(),
+            """
+            from repro.engine.sharder import stable_hash
+
+            class Key:
+                def __hash__(self):
+                    return hash((Key, self.value))
+
+            def shard_of(key, shards):
+                return stable_hash(key) % shards
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR003 — frozen-index discipline
+# ----------------------------------------------------------------------
+class TestFrozenIndexDiscipline:
+    def test_fires_on_mutation_outside_writer_set(self):
+        findings = run(
+            FrozenIndexDiscipline(),
+            """
+            class Widget:
+                def grow(self, term, ids):
+                    self._occurrences[term] = ids
+                    self.total += 1
+                    self._by_key.update(ids)
+            """,
+        )
+        assert codes(findings) == ["RPR003", "RPR003", "RPR003"]
+        assert all(f.symbol == "Widget.grow" for f in findings)
+
+    def test_fires_on_writer_without_mutability_assertion(self):
+        findings = run(
+            FrozenIndexDiscipline(),
+            """
+            class Widget:
+                def merge_partial(self, partial):
+                    self.total += partial.total
+            """,
+        )
+        assert codes(findings) == ["RPR003"]
+        assert "_frozen" in findings[0].message
+
+    def test_quiet_on_disciplined_class(self):
+        findings = run(
+            FrozenIndexDiscipline(),
+            """
+            class Widget:
+                def __init__(self):
+                    self._frozen = False
+                    self.total = 0
+                    self._memo = {}
+
+                def merge_partial(self, partial):
+                    if self._frozen:
+                        raise RuntimeError("frozen")
+                    self.total += partial.total
+
+                def freeze(self):
+                    self._frozen = True
+
+                def thaw(self):
+                    self._frozen = False
+
+                def cached(self, key):
+                    self._memo[key] = key  # memo attrs stay writable
+                    return self._memo[key]
+
+                def reader(self, key):
+                    return self.total
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR004 — non-atomic read-modify-write
+# ----------------------------------------------------------------------
+class TestNonAtomicReadModifyWrite:
+    def test_fires_on_unlocked_augassign(self):
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def bump(self):
+                    self.count += 1
+            """,
+        )
+        assert codes(findings) == ["RPR004"]
+        assert "self.count" in findings[0].message
+
+    def test_fires_on_read_modify_write_assignment(self):
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def allocate(self):
+                    self.next_id = self.next_id - 1
+                    return self.next_id
+            """,
+        )
+        assert codes(findings) == ["RPR004"]
+
+    def test_quiet_under_lock_and_in_constructor(self):
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def __init__(self):
+                    self.count = 0
+                    self.count += 0  # constructor: not yet shared
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+
+                def bump_cond(self):
+                    with self._cond:
+                        self.count += 1
+
+                def rebind(self, items):
+                    self.items = list(items)  # plain write, no read
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_on_unshared_class(self):
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Unshared:
+                def bump(self):
+                    self.count += 1
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR005 — nondeterministic set ordering
+# ----------------------------------------------------------------------
+class TestNondeterministicOrdering:
+    def test_fires_on_set_into_list(self):
+        findings = run(
+            NondeterministicOrdering(),
+            """
+            def result_rows(index, key, value):
+                members = index.occurrences(key, value)
+                return list(members)
+            """,
+        )
+        assert codes(findings) == ["RPR005"]
+        assert "sorted" in findings[0].message
+
+    def test_fires_on_set_literal_comprehension_and_join(self):
+        findings = run(
+            NondeterministicOrdering(),
+            """
+            def render(values):
+                parts = {v.strip() for v in values}
+                header = ",".join(parts)
+                rows = [p.upper() for p in parts]
+                return header, rows, tuple(parts | {"x"})
+            """,
+        )
+        assert codes(findings) == ["RPR005", "RPR005", "RPR005"]
+
+    def test_quiet_when_sorted_or_set_consumed_unordered(self):
+        findings = run(
+            NondeterministicOrdering(),
+            """
+            def result_rows(index, key, value):
+                members = index.occurrences(key, value)
+                for member in members:   # folding into a set is fine
+                    pass
+                union = members | {1}
+                if 3 in members:
+                    pass
+                return list(sorted(members)), tuple(sorted(union))
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_outside_parity_modules(self):
+        findings = run(
+            NondeterministicOrdering(),
+            """
+            def rows(values):
+                return list(set(values))
+            """,
+            module="repro.datagen.movies",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR006 — unpicklable pool payloads
+# ----------------------------------------------------------------------
+class TestUnpicklablePoolPayload:
+    def test_fires_on_lambda_payload(self):
+        findings = run(
+            UnpicklablePoolPayload(),
+            """
+            def fan_out(pool, items):
+                return pool.map(lambda item: item * 2, items)
+            """,
+        )
+        assert codes(findings) == ["RPR006"]
+        assert "lambda" in findings[0].message
+
+    def test_fires_on_closure_payload(self):
+        findings = run(
+            UnpicklablePoolPayload(),
+            """
+            def fan_out(pool, items, factor):
+                def scale(item):
+                    return item * factor
+
+                return pool.imap(scale, items)
+            """,
+        )
+        assert codes(findings) == ["RPR006"]
+        assert "closure" in findings[0].message
+
+    def test_fires_on_bound_method_and_lambda_initializer(self):
+        findings = run(
+            UnpicklablePoolPayload(),
+            """
+            class Runner:
+                def run(self, context, items):
+                    with context.Pool(
+                        processes=2, initializer=lambda: None
+                    ) as pool:
+                        return pool.map(self.score, items)
+            """,
+        )
+        assert sorted(codes(findings)) == ["RPR006", "RPR006"]
+        messages = " ".join(f.message for f in findings)
+        assert "bound method" in messages and "lambda" in messages
+
+    def test_quiet_on_module_level_function(self):
+        findings = run(
+            UnpicklablePoolPayload(),
+            """
+            def _work(item):
+                return item * 2
+
+            def _init(state):
+                pass
+
+            def fan_out(context, items):
+                with context.Pool(
+                    processes=2, initializer=_init, initargs=(1,)
+                ) as pool:
+                    return pool.imap(_work, items)
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_on_builtin_map(self):
+        findings = run(
+            UnpicklablePoolPayload(),
+            """
+            def transform(items):
+                return map(lambda item: item * 2, items)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Cross-rule: the full registry on one dirty-then-clean fixture
+# ----------------------------------------------------------------------
+def test_full_registry_on_dirty_fixture_reports_every_code():
+    source = dedent(
+        """
+        class Widget:
+            def __init__(self):
+                self._items = []
+
+            def items(self):
+                return self._items
+
+            def grow(self):
+                self._items.append(1)
+                self.count += 1
+
+        def shard_of(key, shards):
+            return hash(key) % shards
+
+        def rows(values):
+            return list(set(values))
+
+        def fan_out(pool, items):
+            return pool.map(lambda item: item * 2, items)
+        """
+    )
+    result = lint_source(
+        source,
+        path="src/repro/fake/widget.py",
+        module="repro.fake.widget",
+        config=CONFIG,
+    )
+    assert sorted({f.code for f in result.findings}) == [
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+        "RPR006",
+    ]
+    # Deterministic report order: (path, line, col, code).
+    assert result.findings == sorted(result.findings)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import CorpusIndex, DogmatixSimilarity, ObjectFilter
+from repro.core.index import IndexPartial
 from repro.framework import TypeMapping, od_from_pairs
 
 
@@ -56,6 +57,27 @@ class TestCorpusIndex:
         assert index.objects_with_key("CODE") == {0, 1, 2}
         # Set algebra still works for callers (e.g. the object filter).
         assert objects - {0} == {1, 2}
+
+    def test_block_terms_is_a_snapshot_not_a_live_view(self, index, mapping):
+        """Regression: ``block_terms()`` used to return the live
+        ``self._occurrences.keys()`` view, so a caller iterating the
+        block terms while ``merge_partial()`` folded in a delta saw
+        the term set change mid-iteration (``RuntimeError``) and an
+        already-taken "snapshot" silently grew new terms."""
+        before = index.block_terms()
+        assert ("NAME", "omega") not in before
+        iterator = iter(index.block_terms())
+        first = next(iterator)
+        delta = IndexPartial.from_ods(
+            [od_from_pairs(4, [("omega", "/db/rec[5]/name")])], mapping
+        )
+        index.merge_partial(delta)
+        # Pre-fix, draining the iterator here raised RuntimeError
+        # ("dictionary changed size during iteration") and ``before``
+        # had already grown to include the new term.
+        assert [first, *iterator] == list(before)
+        assert ("NAME", "omega") not in before
+        assert ("NAME", "omega") in index.block_terms()
 
     def test_similar_values(self, index):
         # ned(alpha, alphq) = 0.2 < 0.25
