@@ -1,0 +1,200 @@
+"""Similar-value search strategies: parity check and cost report.
+
+Runs the full ``similarity_groups`` workload — every indexed value
+probed against the index, the inner loop behind blocking and the
+object filter — once per registered strategy and reports
+
+* **verifications** — banded-DP runs, the expensive exact check the
+  candidate filters and bound tiers exist to avoid;
+* **wall-clock** — end-to-end grouping time, which also prices the
+  candidate generation itself (bucket-union merging for the q-gram
+  oracle, prefix-postings probing for the signature scheme).
+
+Parity is asserted unconditionally: both strategies must produce
+identical similarity groups.  The signature strategy must never verify
+more than the oracle; full runs (n=2000, typo-heavy corpus) assert
+strictly fewer — its bound tiers settle same-length typo pairs without
+the DP.
+
+Standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_similarity.py --smoke
+    PYTHONPATH=src python benchmarks/bench_similarity.py --count 5000
+
+or through pytest like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_similarity.py -q
+
+Scale via ``REPRO_SIM_COUNT`` (default 2000) and ``REPRO_SIM_THETA``
+(default 0.25).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import random
+import sys
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.strings import SIMILARITY_STRATEGIES, make_value_index
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def build_values(count: int, seed: int = 11) -> list[str]:
+    """A typo-heavy value population (the Dataset-3 dirtiness shape):
+    clusters of near-duplicates via substitutions (length-preserving —
+    bound-tier fodder) and insertions (length-changing), plus exact
+    repeats the idempotent ``add`` dedupes."""
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnop"
+
+    def word(length: int) -> str:
+        return "".join(rng.choice(alphabet) for _ in range(length))
+
+    bases = [word(rng.randint(6, 12)) for _ in range(max(4, count // 6))]
+    values = []
+    for _ in range(count):
+        value = rng.choice(bases)
+        roll = rng.random()
+        if roll < 0.4:  # same-length typo
+            index = rng.randrange(len(value))
+            value = value[:index] + rng.choice(alphabet) + value[index + 1 :]
+        elif roll < 0.55:  # insertion
+            index = rng.randrange(len(value) + 1)
+            value = value[:index] + rng.choice(alphabet) + value[index:]
+        elif roll < 0.65:  # deletion
+            index = rng.randrange(len(value))
+            value = value[:index] + value[index + 1 :]
+        values.append(value)
+    return values
+
+
+def run_similarity_bench(count: int, theta: float, seed: int = 11) -> dict:
+    """One grouping pass per strategy over the same value population."""
+    values = build_values(count, seed)
+    rows = []
+    reference_groups = None
+    for strategy in sorted(SIMILARITY_STRATEGIES):
+        index = make_value_index(strategy)
+        for value in values:
+            index.add(value)
+        started = time.perf_counter()
+        groups = index.similarity_groups(theta)
+        elapsed = time.perf_counter() - started
+        if reference_groups is None:
+            reference_groups = groups
+        rows.append(
+            {
+                "strategy": strategy,
+                "seconds": elapsed,
+                "probes": index.probes,
+                "verifications": index.verifications,
+                "identical": groups == reference_groups,
+                "distinct": len(index),
+            }
+        )
+    pairs = sum(len(group) - 1 for group in reference_groups.values())
+    return {
+        "count": count,
+        "theta": theta,
+        "distinct": rows[0]["distinct"],
+        "similar_pairs": pairs,
+        "rows": rows,
+    }
+
+
+def format_table(bench: dict) -> str:
+    lines = [
+        f"{bench['distinct']} distinct values from {bench['count']} drawn "
+        f"(theta={bench['theta']}); {bench['similar_pairs']} similar "
+        "relations found",
+        f"{'strategy':>10} {'seconds':>9} {'probes':>8} "
+        f"{'DP verifications':>17} {'parity':>7}",
+    ]
+    for row in bench["rows"]:
+        parity = "ok" if row["identical"] else "FAIL"
+        lines.append(
+            f"{row['strategy']:>10} {row['seconds']:>9.3f} "
+            f"{row['probes']:>8} {row['verifications']:>17} {parity:>7}"
+        )
+    return "\n".join(lines)
+
+
+def check(bench: dict, require_strict: bool) -> None:
+    """Parity always; strictly-fewer verifications at full scale."""
+    by_strategy = {row["strategy"]: row for row in bench["rows"]}
+    for row in bench["rows"]:
+        assert row["identical"], (
+            f"{row['strategy']} similarity groups diverged from "
+            f"{bench['rows'][0]['strategy']}"
+        )
+    assert bench["similar_pairs"] > 0, "corpus produced no similar values"
+    oracle = by_strategy["qgram"]["verifications"]
+    signature = by_strategy["signature"]["verifications"]
+    assert signature <= oracle, (
+        f"signature strategy verified more than the oracle "
+        f"({signature} > {oracle})"
+    )
+    if require_strict:
+        assert signature < oracle, (
+            f"expected strictly fewer DP verifications than the oracle at "
+            f"n={bench['count']}, measured {signature} vs {oracle}"
+        )
+
+
+def test_similarity_strategies(report):
+    """Pytest entry point, consistent with the other bench files."""
+    count = scale("REPRO_SIM_COUNT", 2000)
+    theta = float(os.environ.get("REPRO_SIM_THETA", 0.25))
+    bench = run_similarity_bench(count, theta)
+    report(
+        f"Similar-value strategies: verifications & wall-clock "
+        f"(n={count}, theta={theta})",
+        format_table(bench),
+    )
+    check(bench, require_strict=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, parity + never-more-verifications (for CI)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="value count (default: REPRO_SIM_COUNT or 2000; smoke: 200)",
+    )
+    parser.add_argument(
+        "--theta",
+        type=float,
+        default=None,
+        help="similarity threshold (default: REPRO_SIM_THETA or 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    count = args.count or (200 if args.smoke else scale("REPRO_SIM_COUNT", 2000))
+    theta = args.theta or float(os.environ.get("REPRO_SIM_THETA", 0.25))
+
+    bench = run_similarity_bench(count, theta)
+    print(format_table(bench))
+    check(bench, require_strict=not args.smoke)
+    print("parity ok across similar-value strategies")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

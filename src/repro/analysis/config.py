@@ -24,8 +24,10 @@ class LintConfig:
         {
             "CorpusIndex",
             "QGramIndex",
+            "SignatureIndex",
             "DetectionSession",
             "DogmatixSimilarity",
+            "ObjectFilter",
             "SessionRegistry",
             "SessionEntry",
             "ReadWriteLock",
@@ -64,6 +66,8 @@ class LintConfig:
         "repro.api",
         "repro.ingest",
         "repro.serve",
+        "repro.strings.qgram",
+        "repro.strings.signatures",
     )
 
     #: Known set-returning methods of the index/API surface — the

@@ -13,7 +13,9 @@ gets a registry mapping names to implementations:
 * :data:`SEMANTICS` — similar-pair semantics of the similarity measure
   (``matching`` | ``all-pairs``);
 * :data:`BACKENDS` — execution backends of the engine
-  (``serial`` | ``process``).
+  (``serial`` | ``process``);
+* :data:`STRATEGIES` — similar-value search strategies behind the
+  corpus index (``qgram`` | ``signature``; bit-identical results).
 
 Registries are open: extensions may :meth:`Registry.register` their own
 heuristics, conditions, or backend names and refer to them from specs
@@ -38,6 +40,7 @@ from ..core import (
     h_or,
 )
 from ..engine import BACKENDS as _ENGINE_BACKENDS
+from ..strings import SIMILARITY_STRATEGIES as _SIMILARITY_STRATEGIES
 
 
 class Registry:
@@ -118,6 +121,15 @@ SEMANTICS.register("all-pairs", "all-pairs")
 BACKENDS = Registry("backend")
 for _backend in _ENGINE_BACKENDS:
     BACKENDS.register(_backend, _backend)
+
+#: Similar-value search strategies behind the corpus index (mirrors
+#: ``strings.SIMILARITY_STRATEGIES``): ``qgram`` is the count-filter
+#: oracle, ``signature`` the prefix-filtering scheme.  Results are
+#: bit-identical across strategies — pinned by the differential fuzz
+#: harness — so the choice is purely a performance knob.
+STRATEGIES = Registry("similarity strategy")
+for _strategy in sorted(_SIMILARITY_STRATEGIES):
+    STRATEGIES.register(_strategy, _SIMILARITY_STRATEGIES[_strategy])
 
 
 def heuristic_from_spec(spec: str) -> Heuristic:

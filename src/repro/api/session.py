@@ -174,7 +174,12 @@ class DetectionSession:
         self._index = (
             index
             if index is not None
-            else CorpusIndex(self._ods, mapping, self.config.theta_tuple)
+            else CorpusIndex(
+                self._ods,
+                mapping,
+                self.config.theta_tuple,
+                strategy=self.config.similarity_strategy,
+            )
         )
         self._similarity = DogmatixSimilarity(
             self._index, semantics=self.config.similar_semantics
@@ -321,6 +326,7 @@ class DetectionSession:
                 theta_cand=theta,
                 possible_threshold=self.config.possible_threshold,
                 semantics=self.config.similar_semantics,
+                strategy=self._index.strategy,
             ),
             shard_factory=shard_factory,
         )
@@ -399,6 +405,7 @@ class DetectionSession:
             use_blocking=self.config.use_blocking,
             kept_ids=kept_ids,
             filter_theta=theta if worker_filter else None,
+            strategy=self._index.strategy,
         )
         return pair_source, object_filter, shard_factory
 
@@ -605,7 +612,12 @@ class DetectionSession:
         self._index.thaw()
         try:
             self._index.merge_partial(
-                IndexPartial.from_ods(new_ods, self.mapping, q=self._index.q)
+                IndexPartial.from_ods(
+                    new_ods,
+                    self.mapping,
+                    q=self._index.q,
+                    strategy=self._index.strategy,
+                )
             )
         finally:
             self._index.freeze()

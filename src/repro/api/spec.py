@@ -24,7 +24,13 @@ from ..core import DogmatixConfig, Source
 from ..engine import DEFAULT_BATCH_SIZE, SHARD_MODES, ExecutionPolicy
 from ..framework import TypeMapping, mapping_from_xml
 from ..xmlkit import parse_file, parse_schema_file
-from .registries import BACKENDS, SEMANTICS, condition_from_spec, heuristic_from_spec
+from .registries import (
+    BACKENDS,
+    SEMANTICS,
+    STRATEGIES,
+    condition_from_spec,
+    heuristic_from_spec,
+)
 
 
 @dataclass
@@ -77,6 +83,12 @@ class RunSpec:
     include_empty: bool = False
     possible_threshold: Optional[float] = None
     similar_semantics: str = "matching"
+    #: Similar-value search strategy ("qgram" | "signature"); ``None``
+    #: defers to the config default (which honors the
+    #: ``REPRO_SIMILARITY_STRATEGY`` environment override).  Results
+    #: are bit-identical either way, so the knob — like the execution
+    #: policy — stays out of the index store's content key.
+    similarity_strategy: Optional[str] = None
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     backend: Optional[str] = None
@@ -95,6 +107,8 @@ class RunSpec:
         heuristic_from_spec(self.heuristic)  # validate eagerly
         condition_from_spec(self.conditions)
         SEMANTICS.get(self.similar_semantics)
+        if self.similarity_strategy is not None:
+            STRATEGIES.get(self.similarity_strategy)
         if self.backend is not None:
             BACKENDS.get(self.backend)
         if self.shard_by not in SHARD_MODES:
@@ -156,6 +170,11 @@ class RunSpec:
 
     def to_config(self) -> DogmatixConfig:
         """The :class:`DogmatixConfig` this spec describes."""
+        overrides: dict = {}
+        if self.similarity_strategy is not None:
+            overrides["similarity_strategy"] = STRATEGIES.canonical_name(
+                self.similarity_strategy
+            )
         return DogmatixConfig(
             heuristic=heuristic_from_spec(self.heuristic),
             condition=condition_from_spec(self.conditions),
@@ -167,6 +186,7 @@ class RunSpec:
             possible_threshold=self.possible_threshold,
             similar_semantics=SEMANTICS.canonical_name(self.similar_semantics),
             execution=self.execution_policy(),
+            **overrides,
         )
 
     # ------------------------------------------------------------------

@@ -7,13 +7,25 @@ Paper defaults: θ_tuple = 0.15, θ_cand = 0.55 (Section 6).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..engine import ExecutionPolicy
+from ..strings import SIMILARITY_STRATEGIES
 from .conditions import Condition
 from .heuristics import Heuristic, KClosestDescendants
 from .selection import DescriptionSelector
+
+
+def _default_similarity_strategy() -> str:
+    """Default similar-value strategy, overridable per process.
+
+    ``REPRO_SIMILARITY_STRATEGY`` lets the CI matrix run the whole
+    test suite under the signature strategy without touching every
+    config construction site — results are identical either way.
+    """
+    return os.environ.get("REPRO_SIMILARITY_STRATEGY", "qgram")
 
 
 @dataclass
@@ -59,6 +71,13 @@ class DogmatixConfig:
     #: Similar-pair semantics: "matching" (one-to-one, DESIGN.md) or
     #: "all-pairs" (the paper's literal Eq. 4); see the ablation bench.
     similar_semantics: str = "matching"
+    #: Similar-value search strategy behind the corpus index: "qgram"
+    #: (the count-filter oracle) or "signature" (prefix filtering).
+    #: Results are bit-identical; only candidate generation differs
+    #: (see benchmarks/bench_similarity.py).
+    similarity_strategy: str = field(
+        default_factory=_default_similarity_strategy
+    )
     execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
 
     def __post_init__(self) -> None:
@@ -70,6 +89,12 @@ class DogmatixConfig:
             raise ValueError(
                 f"similar_semantics must be 'matching' or 'all-pairs', "
                 f"got {self.similar_semantics!r}"
+            )
+        if self.similarity_strategy not in SIMILARITY_STRATEGIES:
+            raise ValueError(
+                f"similarity_strategy must be one of "
+                f"{tuple(sorted(SIMILARITY_STRATEGIES))}, "
+                f"got {self.similarity_strategy!r}"
             )
 
     @property

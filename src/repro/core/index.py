@@ -26,7 +26,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..framework import ObjectDescription, TypeMapping
-from ..strings import QGramIndex
+from ..strings import QGramIndex, SignatureIndex, make_value_index
+
+#: Either similar-value index class; identical probe behavior
+#: (see :data:`repro.strings.SIMILARITY_STRATEGIES`).
+ValueIndex = QGramIndex | SignatureIndex
 
 
 @dataclass
@@ -52,8 +56,12 @@ class IndexPartial:
     total_objects: int = 0
     occurrences: dict[tuple[str, str], set[int]] = field(default_factory=dict)
     objects_by_key: dict[str, set[int]] = field(default_factory=dict)
-    value_indexes: dict[str, QGramIndex] = field(default_factory=dict)
+    value_indexes: dict[str, ValueIndex] = field(default_factory=dict)
     q: int = 2
+    #: Similar-value search strategy of ``value_indexes`` (see
+    #: :data:`repro.strings.SIMILARITY_STRATEGIES`); partials of
+    #: different strategies never merge.
+    strategy: str = "qgram"
 
     @classmethod
     def from_ods(
@@ -61,9 +69,10 @@ class IndexPartial:
         ods: Sequence[ObjectDescription],
         mapping: TypeMapping,
         q: int = 2,
+        strategy: str = "qgram",
     ) -> "IndexPartial":
         """Index one OD partition (the loop of a serial index build)."""
-        partial = cls(total_objects=len(ods), q=q)
+        partial = cls(total_objects=len(ods), q=q, strategy=strategy)
         occurrences = partial.occurrences
         objects_by_key = partial.objects_by_key
         value_indexes = partial.value_indexes
@@ -81,7 +90,7 @@ class IndexPartial:
                 by_key.add(od.object_id)
                 index = value_indexes.get(key)
                 if index is None:
-                    index = value_indexes[key] = QGramIndex(q=q)
+                    index = value_indexes[key] = make_value_index(strategy, q=q)
                 index.add(odt.value)
         return partial
 
@@ -90,6 +99,11 @@ class IndexPartial:
         if other.q != self.q:
             raise ValueError(
                 f"cannot merge a q={other.q} partial into a q={self.q} partial"
+            )
+        if other.strategy != self.strategy:
+            raise ValueError(
+                f"cannot merge a {other.strategy!r} partial into a "
+                f"{self.strategy!r} partial"
             )
         self.total_objects += other.total_objects
         _fold_term_state(
@@ -101,7 +115,7 @@ class IndexPartial:
 def _fold_term_state(
     occurrences: dict[tuple[str, str], set[int]],
     objects_by_key: dict[str, set[int]],
-    value_indexes: dict[str, QGramIndex],
+    value_indexes: dict[str, ValueIndex],
     other: IndexPartial,
 ) -> None:
     """Fold a partial's term state into target mappings.
@@ -127,7 +141,9 @@ def _fold_term_state(
     for key, value_index in other.value_indexes.items():
         index = value_indexes.get(key)
         if index is None:
-            index = value_indexes[key] = QGramIndex(q=value_index.q)
+            # Same class as the incoming index, so strategies never mix
+            # inside one corpus (merge_from checks, belt and braces).
+            index = value_indexes[key] = type(value_index)(q=value_index.q)
         index.merge_from(value_index)
 
 
@@ -140,19 +156,25 @@ class CorpusIndex:
         mapping: TypeMapping,
         theta_tuple: float,
         q: int = 2,
+        strategy: str = "qgram",
     ) -> None:
         if not 0 <= theta_tuple <= 1:
             raise ValueError(f"theta_tuple must be in [0, 1], got {theta_tuple}")
+        make_value_index(strategy, q=q)  # validate strategy eagerly
         self.mapping = mapping
         self.theta_tuple = theta_tuple
         self.total_objects = 0
         #: (key, value) -> object ids containing that term
         self._occurrences: dict[tuple[str, str], set[int]] = defaultdict(set)
-        #: key -> q-gram index over the distinct values of that kind
-        self._value_indexes: dict[str, QGramIndex] = {}
+        #: key -> similar-value index over the distinct values of that kind
+        self._value_indexes: dict[str, ValueIndex] = {}
         #: key -> set of object ids having any tuple of that kind
         self._objects_by_key: dict[str, set[int]] = defaultdict(set)
         self.q = q
+        #: Similar-value search strategy backing ``similar_values``
+        #: (results are strategy-independent; see the STRATEGIES
+        #: registry and the differential fuzz harness).
+        self.strategy = strategy
         #: (key, value) -> memoized similar value group
         self._similar_cache: dict[tuple[str, str], tuple[str, ...]] = {}
         #: memoized softIDF values (terms repeat across the O(n²) pairs)
@@ -164,7 +186,9 @@ class CorpusIndex:
         # the serial build is the single-partial case of the merge, so
         # serial/parallel/delta parity holds by construction.
         if ods:
-            self.merge_partial(IndexPartial.from_ods(ods, mapping, q=q))
+            self.merge_partial(
+                IndexPartial.from_ods(ods, mapping, q=q, strategy=strategy)
+            )
 
     # ------------------------------------------------------------------
     # Mergeable construction
@@ -184,7 +208,9 @@ class CorpusIndex:
         serial build's, whatever partition and merge order produced
         ``partial``.
         """
-        index = cls((), mapping, theta_tuple, q=partial.q)
+        index = cls(
+            (), mapping, theta_tuple, q=partial.q, strategy=partial.strategy
+        )
         index.merge_partial(partial)
         return index
 
@@ -211,6 +237,11 @@ class CorpusIndex:
         if partial.q != self.q:
             raise ValueError(
                 f"cannot merge a q={partial.q} partial into a q={self.q} index"
+            )
+        if partial.strategy != self.strategy:
+            raise ValueError(
+                f"cannot merge a {partial.strategy!r} partial into a "
+                f"{self.strategy!r} index"
             )
         # repro: allow[RPR004] sanctioned writer: raises above when
         # frozen, and runs single-threaded (construction) or behind the

@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..framework import ObjectDescription, ODTuple, TypeMapping
-from ..strings import ned_cached, within_normalized
+from ..strings import (
+    ned_cached,
+    normalized_lower_bound,
+    normalized_upper_bound,
+    within_normalized,
+)
 
 
 @dataclass
@@ -79,43 +84,65 @@ def _match_kind(
     result: TupleMatching,
     semantics: str = "matching",
 ) -> None:
-    """Match one kind of information between two ODs."""
-    # Distance table for all comparable combinations.
-    distances: list[tuple[float, int, int]] = []
+    """Match one kind of information between two ODs.
+
+    Cheap check first: the O(n) distance bounds
+    (:func:`normalized_lower_bound` / :func:`normalized_upper_bound`)
+    decide on which side of ``theta_tuple`` most pairs fall, so the
+    O(n·m) DP runs only for pairs the bounds cannot separate from the
+    threshold — and, lazily below, for pairs whose *order* matters:
+    ordering is what decides who matches whom (and the result list
+    order the bit-identical parity contract pins), so a class with a
+    single candidate pair needs no exact distance at all.
+    """
+
+    def exact(pair: tuple[int, int]) -> tuple[float, int, int]:
+        a, b = pair
+        return ned_cached(left[a].value, right[b].value), a, b
+
+    similar: list[tuple[int, int]] = []
+    dissimilar: list[tuple[int, int]] = []
     for a, odt_a in enumerate(left):
         for b, odt_b in enumerate(right):
-            # Cheap check first: only compute exact distances for pairs
-            # that could be similar; dissimilar pairs only need order,
-            # computed lazily below when contradictions are selected.
-            distances.append(
-                (ned_cached(odt_a.value, odt_b.value), a, b)
-            )
-    distances.sort(key=lambda item: (item[0], item[1], item[2]))
+            if normalized_lower_bound(odt_a.value, odt_b.value) >= theta_tuple:
+                dissimilar.append((a, b))
+            elif normalized_upper_bound(odt_a.value, odt_b.value) < theta_tuple:
+                similar.append((a, b))
+            elif ned_cached(odt_a.value, odt_b.value) < theta_tuple:
+                similar.append((a, b))
+            else:
+                dissimilar.append((a, b))
+    if len(similar) > 1:
+        similar.sort(key=exact)
 
     used_left: set[int] = set()
     used_right: set[int] = set()
     if semantics == "all-pairs":
         # Paper-literal Eq. 4: every sub-threshold pair is similar.
-        for distance, a, b in distances:
-            if distance >= theta_tuple:
-                break
+        for a, b in similar:
             used_left.add(a)
             used_right.add(b)
             result.similar.append((left[a], right[b]))
     else:
         # Similar pairs: lowest distance first, one-to-one.
-        for distance, a, b in distances:
-            if distance >= theta_tuple:
-                break  # sorted: nothing below threshold remains
+        for a, b in similar:
             if a in used_left or b in used_right:
                 continue
             used_left.add(a)
             used_right.add(b)
             result.similar.append((left[a], right[b]))
     # Contradictory pairs: highest distance first among the unmatched.
-    for distance, a, b in reversed(distances):
-        if distance < theta_tuple:
-            break
+    # A pair with an endpoint consumed by the similar phase can never be
+    # selected (the used sets only grow), so only the still-active pairs
+    # need ordering at all.
+    active = [
+        (a, b)
+        for a, b in dissimilar
+        if a not in used_left and b not in used_right
+    ]
+    if len(active) > 1:
+        active.sort(key=exact, reverse=True)
+    for a, b in active:
         if a in used_left or b in used_right:
             continue
         used_left.add(a)

@@ -56,6 +56,14 @@ class ObjectFilter:
     ``pruned_count`` and grow ``decisions`` unboundedly).
     ``decisions`` therefore holds exactly one entry per evaluated
     object, in first-evaluation order.
+
+    The memo is safe to read concurrently: like the index's own caches,
+    publication is a single ``dict.setdefault`` of a fully built value,
+    side effects (the ``decisions`` append) happen only on the winning
+    entry, and losers return the winner — so racing readers agree on
+    one :class:`FilterDecision` per object and ``decisions`` never
+    records a duplicate.  Wasted duplicate *computation* under a race
+    is acceptable (f is pure); duplicate *records* are not.
     """
 
     def __init__(self, index: CorpusIndex, theta_cand: float) -> None:
@@ -100,9 +108,10 @@ class ObjectFilter:
             unique_idf=unique_idf,
             kept=score > self.theta_cand,
         )
-        self._memo[od.object_id] = decision
-        self.decisions.append(decision)
-        return decision
+        winner = self._memo.setdefault(od.object_id, decision)
+        if winner is decision:
+            self.decisions.append(decision)
+        return winner
 
     def keep(self, od: ObjectDescription) -> bool:
         """Pruning predicate for :class:`ObjectFilterPruning`."""
@@ -118,8 +127,12 @@ class ObjectFilter:
         Already-memoized ids are skipped, keeping adoption idempotent.
         """
         for decision in decisions:
-            if decision.object_id not in self._memo:
-                self._memo[decision.object_id] = decision
+            if decision.object_id in self._memo:
+                # Re-adoption of the same decision objects: identity
+                # alone cannot detect it, the membership skip can.
+                continue
+            winner = self._memo.setdefault(decision.object_id, decision)
+            if winner is decision:
                 self.decisions.append(decision)
 
     @property

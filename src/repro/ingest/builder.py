@@ -95,17 +95,20 @@ def _init_ingest_worker(payload: bytes) -> None:
     """Install one pre-pickled corpus payload as this worker's state.
 
     The parent pickles ``(sources, mapping, selector, include_empty,
-    q)`` exactly once and ships the bytes — serializing here instead of
-    via initargs keeps the cost one ``dumps`` regardless of start
-    method and turns any pickling problem into the parent-side serial
-    fallback rather than a pool-initializer crash loop.
+    q, strategy)`` exactly once and ships the bytes — serializing here
+    instead of via initargs keeps the cost one ``dumps`` regardless of
+    start method and turns any pickling problem into the parent-side
+    serial fallback rather than a pool-initializer crash loop.
     """
-    sources, mapping, selector, include_empty, q = pickle.loads(payload)
+    sources, mapping, selector, include_empty, q, strategy = pickle.loads(
+        payload
+    )
     _INGEST_STATE["sources"] = sources
     _INGEST_STATE["mapping"] = mapping
     _INGEST_STATE["selector"] = selector
     _INGEST_STATE["include_empty"] = include_empty
     _INGEST_STATE["q"] = q
+    _INGEST_STATE["strategy"] = strategy
     _INGEST_STATE["schemas"] = {}
     _INGEST_STATE["descriptions"] = {}
     _INGEST_STATE["candidates"] = {}
@@ -176,6 +179,7 @@ def _ingest_chunk(
         ods,
         _INGEST_STATE["mapping"],  # type: ignore[arg-type]
         q=int(_INGEST_STATE["q"]),  # type: ignore[arg-type]
+        strategy=str(_INGEST_STATE["strategy"]),  # type: ignore[arg-type]
     )
     return [(od.object_id, od.tuples) for od in ods], partial
 
@@ -324,10 +328,11 @@ class ParallelIngestor:
             return self._serial(corpus, mapping, real_world_type, config,
                                 parsed_in_workers, reason="no candidates")
         q = IndexPartial().q
+        strategy = config.similarity_strategy
         try:  # one dumps; the bytes are what crosses into the pool
             payload = pickle.dumps(
                 (tuple(sources), mapping, config.selector,
-                 config.include_empty, q),
+                 config.include_empty, q, strategy),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         except Exception:
@@ -347,7 +352,7 @@ class ParallelIngestor:
             for source_index, xpath, elements, _ in units
         }
         ods: list[ObjectDescription] = []
-        merged = IndexPartial(q=q)
+        merged = IndexPartial(q=q, strategy=strategy)
         context = multiprocessing.get_context()
         with context.Pool(
             processes=self.workers,
@@ -392,7 +397,10 @@ class ParallelIngestor:
     ) -> tuple[list[ObjectDescription], CorpusIndex]:
         """The serial reference path (also the fallback)."""
         ods = corpus.generate_ods(mapping, real_world_type, config)
-        index = CorpusIndex(ods, mapping, config.theta_tuple)
+        index = CorpusIndex(
+            ods, mapping, config.theta_tuple,
+            strategy=config.similarity_strategy,
+        )
         self.last_report = IngestReport(
             backend="serial",
             workers=self.workers,

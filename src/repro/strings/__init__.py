@@ -1,8 +1,9 @@
 """strings: string-similarity substrate.
 
 Edit distance with banding and thresholded checks, cheap lower/upper
-bounds, a q-gram index for similarity search, Jaro/Jaro–Winkler, and
-token-set measures.
+bounds, two interchangeable similarity-search indexes (the q-gram
+count-filter oracle and the prefix-signature strategy),
+Jaro/Jaro–Winkler, and token-set measures.
 """
 
 from .bounds import (
@@ -22,11 +23,39 @@ from .levenshtein import (
     within_normalized,
 )
 from .qgram import QGramIndex, qgrams, strict_budget
+from .signatures import SignatureIndex
 from .tokenize import dice, jaccard, normalize, overlap, tokens
+
+#: Similar-value search strategies: registry-name -> index class.  Both
+#: answer thresholded ``ned`` probes with identical result sets; they
+#: differ only in candidate generation (see ``benchmarks/
+#: bench_similarity.py`` for the verification-count comparison).
+SIMILARITY_STRATEGIES: dict[str, type] = {
+    QGramIndex.strategy: QGramIndex,
+    SignatureIndex.strategy: SignatureIndex,
+}
+
+
+def make_value_index(strategy: str, q: int = 2):
+    """Construct the value index a strategy name describes.
+
+    Raises :class:`LookupError` naming the known strategies, matching
+    the registry error style of :mod:`repro.api.registries`.
+    """
+    index_class = SIMILARITY_STRATEGIES.get(strategy)
+    if index_class is None:
+        raise LookupError(
+            f"unknown similarity strategy {strategy!r}; registered: "
+            f"{', '.join(sorted(SIMILARITY_STRATEGIES))}"
+        )
+    return index_class(q=q)
+
 
 __all__ = [
     "BoundedMatcher",
     "QGramIndex",
+    "SIMILARITY_STRATEGIES",
+    "SignatureIndex",
     "bag_distance",
     "dice",
     "edit_distance",
@@ -37,6 +66,7 @@ __all__ = [
     "ned_cached",
     "jaro_winkler",
     "length_lower_bound",
+    "make_value_index",
     "normalize",
     "normalized_edit_distance",
     "normalized_lower_bound",

@@ -58,6 +58,9 @@ def strict_budget(threshold: float, longest: int) -> int:
 class QGramIndex:
     """Index of string values supporting thresholded ``ned`` probes."""
 
+    #: Registry name; merge compatibility is checked against it.
+    strategy = "qgram"
+
     def __init__(self, q: int = 2) -> None:
         if q < 1:
             raise ValueError(f"q must be >= 1, got {q}")
@@ -87,6 +90,9 @@ class QGramIndex:
             return existing
         value_id = len(self._values)
         self._values.append(value)
+        # repro: allow[RPR004] sanctioned writer: add() runs
+        # single-threaded (construction / partial build) or behind the
+        # session writer lock (extend), never against the read path
         self._ids[value] = value_id
         grams = Counter(qgrams(value, self.q))
         self._grams.append(grams)
@@ -102,21 +108,31 @@ class QGramIndex:
         counters ``other`` computed, so merging never re-counts grams —
         this is what lets worker processes build per-partition value
         indexes and the parent fold them together at dictionary speed
-        (see :class:`repro.core.index.IndexPartial`).  Observable search
-        behavior is merge-order-independent (searches return value
-        *sets*; only the internal insertion order differs).
+        (see :class:`repro.core.index.IndexPartial`).  The counters are
+        *copied* on graft, never aliased: the source partial stays live
+        after the merge (delta folds, re-merges into other targets),
+        and a shared mutable counter would let mutation on either side
+        corrupt the other's count filter — the RPR001 escape class.
+        Observable search behavior is merge-order-independent (searches
+        return value *sets*; only the internal insertion order differs).
         """
         if other.q != self.q:
             raise ValueError(
                 f"cannot merge a q={other.q} index into a q={self.q} index"
+            )
+        if other.strategy != self.strategy:
+            raise ValueError(
+                f"cannot merge a {other.strategy!r} index into a "
+                f"{self.strategy!r} index"
             )
         for other_id, value in enumerate(other._values):
             if value in self._ids:
                 continue
             value_id = len(self._values)
             self._values.append(value)
+            # repro: allow[RPR004] sanctioned writer (see add)
             self._ids[value] = value_id
-            grams = other._grams[other_id]
+            grams = other._grams[other_id].copy()
             self._grams.append(grams)
             for gram in grams:
                 self._buckets[gram].append(value_id)

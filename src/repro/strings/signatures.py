@@ -1,0 +1,288 @@
+"""Prefix-filtering signature index for edit-distance similarity search.
+
+Same thresholded-``ned`` probe contract as :class:`~repro.strings.qgram.
+QGramIndex`, different candidate generation.  The q-gram oracle merges
+the buckets of *every* query gram and count-filters the union; for a
+frequent gram that union is most of the corpus.  Prefix filtering
+(Chaudhuri et al., ICDE 2006; Schmitt et al., "A Two-Level Signature
+Scheme for Stable Set Similarity Joins", PVLDB 2023) exploits the count
+filter's own bound ``T``: fix one global total order over tokens — here
+ascending global frequency, rarest first — and sort every token set by
+it.  If two multisets overlap in at least ``T`` tokens, then the first
+``n - T + 1`` tokens of either side (its *prefix signature*) must hit
+the other's prefix.  Probing only the query's prefix, against postings
+restricted to stored prefix positions, touches the rare end of the
+token distribution and skips the frequent grams that make the oracle's
+bucket union large.
+
+Adaptation to the edit-distance count filter (Gravano et al., VLDB
+2001), which is what makes the scheme exact here:
+
+* tokens are *tagged* padded q-grams ``(gram, occurrence#)`` so multiset
+  overlap becomes plain set overlap (``sum(min(count_a, count_b))`` =
+  ``|tagged_a & tagged_b|``);
+* values are bucketed by length: every value of length ``L`` has exactly
+  ``L + q - 1`` tokens, so for a fixed query the count-filter bound
+  ``T = max(m, L) + q - 1 - q * strict_budget(θ, max(m, L))`` — and with
+  it both prefix lengths — is uniform per bucket (the two-level scheme's
+  stable-bucket idea, with length classes as the outer level);
+* the second level is the positional (ppjoin-style) filter: a shared
+  token at query position ``i`` and stored position ``j`` caps the
+  overlap at ``1 + min(n_q - i - 1, n_v - j - 1)``; candidates whose cap
+  stays below ``T`` are dropped before the count filter.  It only pays
+  off on long values, so it is gated by ``second_level_cutoff``;
+* buckets where ``T`` degenerates to zero are scanned whole, exactly
+  like the oracle's length-class fallback, so no true match is lost.
+
+Survivors still pass the exact multiset count filter and the banded DP
+(with the cheap :mod:`~repro.strings.bounds` tiers in between), so the
+result *sets* are identical to the oracle's for every corpus, query,
+and threshold — pinned by the differential fuzz harness in
+``tests/test_similarity_strategies.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from .bounds import normalized_lower_bound, normalized_upper_bound
+from .levenshtein import within_normalized
+from .qgram import qgrams, strict_budget
+
+#: token -> (value id, prefix position) postings of one length bucket.
+_Postings = dict[tuple[str, int], list[tuple[int, int]]]
+
+
+class SignatureIndex:
+    """Prefix-signature index supporting thresholded ``ned`` probes.
+
+    Drop-in for :class:`~repro.strings.qgram.QGramIndex`: same
+    ``add``/``merge_from``/``search``/``similarity_groups`` surface and
+    identical observable search behavior, so
+    :class:`repro.core.index.IndexPartial` grafting and
+    ``CorpusIndex.merge_partial`` work unchanged.
+
+    The signature structure (global token order + per-bucket prefix
+    postings) depends on corpus-wide token frequencies, so it is not
+    maintained incrementally: mutation only appends raw values, and the
+    structure is rebuilt lazily on the next probe.  That makes merges
+    order-independent by construction and keeps the lock-free read path
+    safe — the rebuilt state is published with one atomic attribute
+    assignment of an idempotent value (same discipline as the corpus
+    index's memo caches).
+    """
+
+    #: Registry name; merge compatibility is checked against it.
+    strategy = "signature"
+
+    def __init__(self, q: int = 2, second_level_cutoff: int = 16) -> None:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        if second_level_cutoff < 1:
+            raise ValueError(
+                f"second_level_cutoff must be >= 1, got {second_level_cutoff}"
+            )
+        self.q = q
+        #: Token count from which the positional filter is applied.
+        self.second_level_cutoff = second_level_cutoff
+        self._values: list[str] = []
+        self._grams: list[Counter[str]] = []
+        self._ids: dict[str, int] = {}
+        self._by_length: dict[int, list[int]] = defaultdict(list)
+        #: Lazily built (value count, token frequencies, postings);
+        #: ``None`` or a stale count means "rebuild on next probe".
+        self._signature_state: (
+            tuple[int, dict[tuple[str, int], int], dict[int, _Postings]] | None
+        ) = None
+        self.probes = 0
+        self.verifications = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._ids
+
+    @property
+    def values(self) -> list[str]:
+        return list(self._values)
+
+    def add(self, value: str) -> int:
+        """Register a value (idempotent); returns its id."""
+        existing = self._ids.get(value)
+        if existing is not None:
+            return existing
+        value_id = len(self._values)
+        self._values.append(value)
+        # repro: allow[RPR004] sanctioned writer: add() runs
+        # single-threaded (construction / partial build) or behind the
+        # session writer lock (extend), never against the read path
+        self._ids[value] = value_id
+        self._grams.append(Counter(qgrams(value, self.q)))
+        self._by_length[len(value)].append(value_id)
+        return value_id
+
+    def merge_from(self, other: "SignatureIndex") -> None:
+        """Graft another index's values into this one (set union).
+
+        Values already present are skipped; new values keep the gram
+        counters ``other`` computed — copied on graft, never aliased,
+        so later mutation of either index cannot corrupt the other
+        (the RPR001 escape class).  Observable search behavior is
+        merge-order-independent: the signature structure is rebuilt
+        from the merged value set on the next probe.
+        """
+        if other.q != self.q:
+            raise ValueError(
+                f"cannot merge a q={other.q} index into a q={self.q} index"
+            )
+        if other.strategy != self.strategy:
+            raise ValueError(
+                f"cannot merge a {other.strategy!r} index into a "
+                f"{self.strategy!r} index"
+            )
+        for other_id, value in enumerate(other._values):
+            if value in self._ids:
+                continue
+            value_id = len(self._values)
+            self._values.append(value)
+            # repro: allow[RPR004] sanctioned writer (see add)
+            self._ids[value] = value_id
+            self._grams.append(other._grams[other_id].copy())
+            self._by_length[len(value)].append(value_id)
+
+    def search(self, query: str, threshold: float) -> list[str]:
+        """All indexed values ``v`` with ``ned(query, v) < threshold``.
+
+        The query itself is included when indexed (``ned = 0``).
+        Results are in insertion order — identical, value for value, to
+        the q-gram oracle's over the same insertion sequence.
+        """
+        # repro: allow[RPR004] informational counter: lock-free readers
+        # of a frozen index may lose an increment; nothing decides on it
+        self.probes += 1
+        matched: set[int] = set()
+        query_id = self._ids.get(query)
+        if query_id is not None:
+            matched.add(query_id)
+        if threshold > 0:
+            for value_id in self._candidates(query, threshold):
+                if value_id == query_id:
+                    continue
+                value = self._values[value_id]
+                # Bound tiers (strings.bounds): reject/accept without
+                # the DP where a cheap bound already decides.
+                if normalized_lower_bound(query, value) >= threshold:
+                    continue
+                if normalized_upper_bound(query, value) < threshold:
+                    matched.add(value_id)
+                    continue
+                # repro: allow[RPR004] informational counter (see probes)
+                self.verifications += 1
+                if within_normalized(query, value, threshold):
+                    matched.add(value_id)
+        return [self._values[value_id] for value_id in sorted(matched)]
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def _candidates(self, query: str, threshold: float) -> set[int]:
+        """Candidate ids passing the prefix, positional, length, and
+        count filters."""
+        _, frequency, postings = self._state()
+        length_q = len(query)
+        query_grams = Counter(qgrams(query, self.q))
+        query_tokens = [
+            (gram, occurrence)
+            for gram, count in query_grams.items()
+            for occurrence in range(count)
+        ]
+        # The one global total order both sides sort by: ascending
+        # frequency, rarest first (query-only tokens count as unseen).
+        query_tokens.sort(
+            key=lambda token: (frequency.get(token, 0), token[0], token[1])
+        )
+        tokens_q = len(query_tokens)
+
+        candidates: set[int] = set()
+        for length, ids in self._by_length.items():
+            longest = max(length_q, length)
+            budget = strict_budget(threshold, longest)
+            if budget < 0 or abs(length_q - length) > budget:
+                continue
+            required = longest + self.q - 1 - self.q * budget
+            if required <= 0:
+                # Degenerate: a match might share no tokens at all;
+                # scan the length class (oracle-identical fallback).
+                candidates.update(ids)
+                continue
+            tokens_v = length + self.q - 1
+            # Length filter passed, so required <= min(tokens_q,
+            # tokens_v) and both prefixes are non-empty.
+            prefix_q = tokens_q - required + 1
+            prefix_v = tokens_v - required + 1
+            bucket = postings[length]
+            overlap_cap: dict[int, int] = {}
+            for position_q, token in enumerate(query_tokens[:prefix_q]):
+                for value_id, position_v in bucket.get(token, ()):
+                    if position_v >= prefix_v:
+                        continue
+                    cap = 1 + min(
+                        tokens_q - position_q - 1, tokens_v - position_v - 1
+                    )
+                    if cap > overlap_cap.get(value_id, 0):
+                        overlap_cap[value_id] = cap
+            positional = (
+                min(tokens_q, tokens_v) >= self.second_level_cutoff
+            )
+            for value_id, cap in overlap_cap.items():
+                if positional and cap < required:
+                    continue  # second level: overlap provably < T
+                grams_v = self._grams[value_id]
+                overlap = sum(
+                    min(count, grams_v[gram])
+                    for gram, count in query_grams.items()
+                )
+                if overlap < required:
+                    continue
+                candidates.add(value_id)
+        return candidates
+
+    def _state(
+        self,
+    ) -> tuple[int, dict[tuple[str, int], int], dict[int, _Postings]]:
+        """The signature structure, rebuilt if values were added.
+
+        Deterministic function of the value set; concurrent probes may
+        rebuild redundantly, but the single attribute assignment below
+        publishes a complete, idempotent value either way (benign, like
+        the corpus index's memo caches).
+        """
+        state = self._signature_state
+        if state is not None and state[0] == len(self._values):
+            return state
+        frequency: Counter[tuple[str, int]] = Counter()
+        for grams in self._grams:
+            for gram, count in grams.items():
+                for occurrence in range(count):
+                    frequency[(gram, occurrence)] += 1
+        postings: dict[int, _Postings] = {}
+        for value_id, value in enumerate(self._values):
+            tokens = [
+                (gram, occurrence)
+                for gram, count in self._grams[value_id].items()
+                for occurrence in range(count)
+            ]
+            tokens.sort(
+                key=lambda token: (frequency[token], token[0], token[1])
+            )
+            bucket = postings.setdefault(len(value), {})
+            for position, token in enumerate(tokens):
+                bucket.setdefault(token, []).append((value_id, position))
+        state = (len(self._values), dict(frequency), postings)
+        self._signature_state = state
+        return state
+
+    def similarity_groups(self, threshold: float) -> dict[str, list[str]]:
+        """For every indexed value, the values similar to it (incl. itself)."""
+        return {value: self.search(value, threshold) for value in self._values}

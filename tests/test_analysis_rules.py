@@ -318,6 +318,100 @@ class TestNonAtomicReadModifyWrite:
         )
         assert findings == []
 
+    def test_fires_on_check_then_act_publish_with_side_effect(self):
+        # The exact pre-fix ObjectFilter.decide() shape: unlocked memo
+        # check, subscript publish, and a companion list append that
+        # double-records when two threads pass the check together.
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def decide(self, key):
+                    cached = self._memo.get(key)
+                    if cached is not None:
+                        return cached
+                    decision = self.evaluate(key)
+                    self._memo[key] = decision
+                    self.decisions.append(decision)
+                    return decision
+            """,
+        )
+        assert codes(findings) == ["RPR004"]
+        assert "check-then-act" in findings[0].message
+        assert "setdefault" in findings[0].message
+        assert "self.decisions" in findings[0].message
+
+    def test_fires_on_membership_check_then_act(self):
+        # Same race via `in`-membership instead of .get().
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def adopt(self, decisions):
+                    for decision in decisions:
+                        if decision.key not in self._memo:
+                            self._memo[decision.key] = decision
+                            self.decisions.append(decision)
+            """,
+        )
+        assert codes(findings) == ["RPR004"]
+
+    def test_quiet_on_setdefault_publication(self):
+        # The fixed shape: setdefault picks one winner atomically and
+        # the side effect runs only on the winning entry.
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def decide(self, key):
+                    cached = self._memo.get(key)
+                    if cached is not None:
+                        return cached
+                    decision = self.evaluate(key)
+                    winner = self._memo.setdefault(key, decision)
+                    if winner is decision:
+                        self.decisions.append(decision)
+                    return winner
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_on_idempotent_memo_publication(self):
+        # Racing writers of a pure per-key cache merely waste work —
+        # no companion side effect, no observable double-record.
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def pair_idf(self, key):
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        return cached
+                    value = self.compute(key)
+                    self._cache[key] = value
+                    return value
+            """,
+        )
+        assert findings == []
+
+    def test_quiet_on_check_then_act_under_lock(self):
+        findings = run(
+            NonAtomicReadModifyWrite(),
+            """
+            class Widget:
+                def decide(self, key):
+                    with self._lock:
+                        cached = self._memo.get(key)
+                        if cached is not None:
+                            return cached
+                        decision = self.evaluate(key)
+                        self._memo[key] = decision
+                        self.decisions.append(decision)
+                        return decision
+            """,
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # RPR005 — nondeterministic set ordering

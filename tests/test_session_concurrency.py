@@ -11,6 +11,11 @@ here:
   non-default threshold used to re-run the full O(n) object-filter
   pass on every call — with single-assignment publication, an LRU
   bound, and parity against the unmemoized pass;
+* the object filter's decision memo — ``decide()`` published its memo
+  check-then-act, so two threads passing the check together both
+  appended to ``decisions`` (double-counting ``pruned_count``); now
+  pinned to one recorded decision per object under forced GIL
+  switching;
 * the index freeze seam — a session's index rejects structural
   mutation outside ``extend()``;
 * the slow thread-stress: N threads hammer ``match()`` (ids and
@@ -203,6 +208,68 @@ class TestKeptSetMemo:
             )
         )
         assert not session._kept_cache
+
+
+class TestObjectFilterDecideRace:
+    def test_concurrent_decide_records_one_decision_per_object(
+        self, greedy_switching
+    ):
+        """Regression: ``decide()`` published its memo with a
+        check-then-act (``_memo.get`` ... ``_memo[id] = decision`` +
+        ``decisions.append``), so two threads evaluating the same
+        object concurrently both recorded a decision — ``decisions``
+        grew beyond one entry per object and ``pruned_count`` counted
+        pruned objects twice.  Publication must pick one winner
+        (``dict.setdefault``) and append only the winning entry."""
+        session = paper_session()
+        ods = list(session.ods)
+        serial = ObjectFilter(session.index, 0.55)
+        expected_ids = [od.object_id for od in ods]
+        expected_pruned = sum(1 for od in ods if not serial.decide(od).kept)
+
+        threads, rounds = 8, 40
+        filters = [ObjectFilter(session.index, 0.55) for _ in range(rounds)]
+        barrier = threading.Barrier(threads)
+        observed: list[list] = [[] for _ in range(threads)]
+
+        def decide_all(slot: int) -> None:
+            bucket = observed[slot]
+            for object_filter in filters:
+                barrier.wait()
+                for od in ods:
+                    bucket.append((id(object_filter), od.object_id,
+                                   object_filter.decide(od)))
+
+        workers = [
+            threading.Thread(target=decide_all, args=(slot,))
+            for slot in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        for object_filter in filters:
+            recorded = [d.object_id for d in object_filter.decisions]
+            assert sorted(recorded) == sorted(expected_ids), (
+                "decisions must hold exactly one entry per evaluated "
+                f"object, got {len(recorded)} entries for "
+                f"{len(expected_ids)} objects"
+            )
+            assert object_filter.pruned_count == expected_pruned
+
+        # Racing callers must all have observed the memoized winner.
+        winners = {
+            (key, object_id): decision
+            for object_filter in filters
+            for (key, object_id, decision) in [
+                (id(object_filter), d.object_id, d)
+                for d in object_filter.decisions
+            ]
+        }
+        for bucket in observed:
+            for key, object_id, decision in bucket:
+                assert decision is winners[(key, object_id)]
 
 
 class TestFrozenIndex:
