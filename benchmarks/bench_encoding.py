@@ -1,0 +1,233 @@
+"""Index encodings: memory footprint, warm-load, and parity report.
+
+Prices what the compact array-backed encoding buys on the two axes the
+tentpole targets:
+
+* **memory** — reachable bytes of the frozen index state (term
+  postings + value indexes, ``repro.compact.deep_sizeof``): interned
+  string tables and flat posting arrays vs the dict encoding's
+  dict/set/Counter maze.  Full runs assert >= 2x reduction.
+* **warm load** — a compact session's snapshot embeds the frozen
+  arrays, so ``IndexStore.load`` reconstructs the index by decoding
+  buffers instead of re-running tuple scans and gram counting.  Full
+  runs assert the compact warm load beats the dict-encoding load of
+  the *same* snapshot (which rebuilds the index from the stored ODs).
+
+Parity is asserted unconditionally (index statistics across every
+mode); ``--smoke`` additionally pins bit-identical ``detect()``
+results at a small scale.
+
+Standalone (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/bench_encoding.py --smoke
+    PYTHONPATH=src python benchmarks/bench_encoding.py --count 5000
+
+or through pytest like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_encoding.py -q
+
+Scale via ``REPRO_D3_COUNT`` (default 2000; paper scale 10000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro.api import RunSpec
+from repro.compact import deep_sizeof
+from repro.eval import build_dataset3
+from repro.ingest import IndexStore
+from repro.xmlkit import Document, serialize
+
+MEMORY_CONTRACT = 2.0  # dict bytes / compact bytes, full runs
+
+
+def scale(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def index_footprint(index) -> int:
+    """Bytes reachable from the index's term + value-index state."""
+    if index._compact is not None:
+        return deep_sizeof((index._compact, index._value_indexes))
+    return deep_sizeof(
+        (index._occurrences, index._objects_by_key, index._value_indexes)
+    )
+
+
+def write_corpus(dataset, directory: pathlib.Path, encoding=None) -> RunSpec:
+    """Dataset 3 as on-disk files plus a spec (the warm-start shape)."""
+    (source,) = dataset.sources
+    document = source.document
+    if not isinstance(document, Document):
+        document = Document(document)
+    doc_path = directory / "freedb.xml"
+    doc_path.write_text(serialize(document, indent=None), encoding="utf-8")
+    mapping_path = directory / "mapping.xml"
+    mapping_path.write_text(dataset.mapping.to_xml(), encoding="utf-8")
+    return RunSpec(
+        documents=[str(doc_path)],
+        mapping=str(mapping_path),
+        real_world_type=dataset.real_world_type,
+        use_object_filter=False,  # isolate index construction, not step 4
+        index_encoding=encoding,
+    )
+
+
+def run_encoding_bench(count: int, seed: int = 11, verify_detect=False) -> dict:
+    """Cold build + warm load per encoding, one on-disk corpus."""
+    dataset = build_dataset3(count, seed)
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-encoding-") as tmp:
+        directory = pathlib.Path(tmp)
+        dict_spec = write_corpus(dataset, directory, encoding="dict")
+        compact_spec = write_corpus(dataset, directory, encoding="compact")
+        store = IndexStore(directory / "store")
+
+        def timed(mode, build):
+            started = time.perf_counter()
+            session = build()
+            elapsed = time.perf_counter() - started
+            assert session is not None, f"{mode}: no session"
+            rows.append(
+                {
+                    "mode": mode,
+                    "seconds": elapsed,
+                    "bytes": index_footprint(session.index),
+                    "from_snapshot": session.index.loaded_from_snapshot,
+                    "session": session,
+                }
+            )
+            return session
+
+        reference = timed("dict cold", dict_spec.build_session)
+        compact_cold = timed("compact cold", compact_spec.build_session)
+        # One snapshot serves both encodings; saved from the compact
+        # session so the frozen arrays are embedded in the payload.
+        store.save(compact_spec, compact_cold)
+        timed("dict warm", lambda: store.load(dict_spec))
+        timed("compact warm", lambda: store.load(compact_spec))
+
+        reference_result = reference.detect() if verify_detect else None
+        for row in rows:
+            session = row.pop("session")
+            row["identical"] = (
+                session.index.statistics() == reference.index.statistics()
+            )
+            if verify_detect:
+                row["detect_identical"] = (
+                    session is reference
+                    or session.detect().identical_to(reference_result)
+                )
+    by_mode = {row["mode"]: row for row in rows}
+    dict_bytes = by_mode["dict cold"]["bytes"]
+    compact_bytes = by_mode["compact cold"]["bytes"]
+    return {
+        "count": count,
+        "candidates": reference.index.total_objects,
+        "rows": rows,
+        "memory_ratio": dict_bytes / compact_bytes if compact_bytes else 0.0,
+        "warm_ratio": (
+            by_mode["dict warm"]["seconds"] / by_mode["compact warm"]["seconds"]
+            if by_mode["compact warm"]["seconds"]
+            else 0.0
+        ),
+    }
+
+
+def format_table(bench: dict) -> str:
+    lines = [
+        f"{bench['candidates']} candidates from Dataset 3 "
+        f"(n={bench['count']})",
+        f"{'mode':>13} {'seconds':>9} {'index MiB':>10} "
+        f"{'snapshot':>9} {'parity':>7}",
+    ]
+    for row in bench["rows"]:
+        parity = "ok" if row["identical"] else "FAIL"
+        if row.get("detect_identical") is False:
+            parity = "FAIL"
+        snapshot = "reused" if row["from_snapshot"] else "rebuilt"
+        lines.append(
+            f"{row['mode']:>13} {row['seconds']:>9.2f} "
+            f"{row['bytes'] / 2 ** 20:>10.2f} {snapshot:>9} {parity:>7}"
+        )
+    lines.append(
+        f"memory: dict/compact = {bench['memory_ratio']:.2f}x; "
+        f"warm load: dict-rebuild/compact-decode = "
+        f"{bench['warm_ratio']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def check(bench: dict, require_ratios: bool) -> None:
+    """Parity always; the memory/warm contracts at full scale."""
+    by_mode = {row["mode"]: row for row in bench["rows"]}
+    for row in bench["rows"]:
+        assert row["identical"], f"{row['mode']} index diverged from dict cold"
+        assert row.get("detect_identical") is not False, (
+            f"{row['mode']} detection diverged from dict cold"
+        )
+    assert bench["candidates"] > 0, "benchmark corpus produced no candidates"
+    assert by_mode["compact warm"]["from_snapshot"], (
+        "compact warm load fell back to rebuilding from ODs — the "
+        "snapshot payload was not reused"
+    )
+    assert not by_mode["dict warm"]["from_snapshot"]
+    if require_ratios:
+        assert bench["memory_ratio"] >= MEMORY_CONTRACT, (
+            f"expected >= {MEMORY_CONTRACT:.0f}x memory reduction at "
+            f"n={bench['count']}, measured {bench['memory_ratio']:.2f}x"
+        )
+        assert bench["warm_ratio"] > 1.0, (
+            f"expected the compact snapshot decode to beat the "
+            f"rebuild-from-ODs warm load, measured "
+            f"{bench['warm_ratio']:.2f}x"
+        )
+
+
+def test_index_encodings(report):
+    """Pytest entry point, consistent with the other bench files."""
+    count = scale("REPRO_D3_COUNT", 2000)
+    bench = run_encoding_bench(count)
+    report(
+        f"Index encodings: memory & warm-load on Dataset 3 (n={count})",
+        format_table(bench),
+    )
+    check(bench, require_ratios=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, parity (incl. detection) only (for CI)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="Dataset 3 size (default: REPRO_D3_COUNT or 2000; smoke: 150)",
+    )
+    args = parser.parse_args(argv)
+
+    count = args.count or (150 if args.smoke else scale("REPRO_D3_COUNT", 2000))
+    bench = run_encoding_bench(count, verify_detect=args.smoke)
+    print(format_table(bench))
+    check(bench, require_ratios=not args.smoke)
+    print("parity ok across encodings, cold and warm")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,8 +84,20 @@ def call_name(node: ast.Call) -> Optional[str]:
 
 
 #: Constructor names whose result is a live mutable container.
+#: ``array``/``bytearray`` joined with the compact index encoding:
+#: flat posting buffers are as mutable as the dicts they replace.
 CONTAINER_CALLS = frozenset(
-    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+    {
+        "list",
+        "dict",
+        "set",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "array",
+        "bytearray",
+    }
 )
 
 #: Mapping-view accessors — always a live window onto the dict.

@@ -32,13 +32,31 @@ class LintConfig:
             "SessionEntry",
             "ReadWriteLock",
             "IndexStore",
+            # Compact-encoding structures: frozen indexes hand these out
+            # to lock-free readers, so the no-live-escape contract
+            # applies verbatim (RPR001 also covers memoryview windows).
+            "StringTable",
+            "PostingLists",
+            "CompactGramStore",
+            "CompactValueIndex",
+            "CompactTermIndex",
         }
     )
 
     #: Classes pinned read-only after build (``freeze()``/``thaw()``
     #: seam).  RPR003 restricts state mutation to the sanctioned
-    #: writer set below.
-    frozen_classes: frozenset[str] = frozenset({"CorpusIndex"})
+    #: writer set below.  The compact structures are immutable by
+    #: construction — any post-``__init__`` assignment is a bug.
+    frozen_classes: frozenset[str] = frozenset(
+        {
+            "CorpusIndex",
+            "StringTable",
+            "PostingLists",
+            "CompactGramStore",
+            "CompactValueIndex",
+            "CompactTermIndex",
+        }
+    )
 
     #: The sanctioned writers of a frozen class: construction, the one
     #: delta-merge seam, and the pin itself.  Writers other than
@@ -53,7 +71,7 @@ class LintConfig:
     #: state, and CPython dict assignment is atomic (see
     #: ``CorpusIndex.freeze``).
     frozen_memo_attrs: frozenset[str] = frozenset(
-        {"_similar_cache", "_pair_idf_cache"}
+        {"_similar_cache", "_pair_idf_cache", "_statistics_cache"}
     )
 
     #: Module prefixes where result/serialization ordering feeds the
@@ -68,6 +86,9 @@ class LintConfig:
         "repro.serve",
         "repro.strings.qgram",
         "repro.strings.signatures",
+        # Compact postings feed the same bit-identical results as the
+        # dict encoding — their construction order is contractual.
+        "repro.compact",
     )
 
     #: Known set-returning methods of the index/API surface — the

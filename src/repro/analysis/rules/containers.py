@@ -10,9 +10,13 @@ structure mid-mutation (``block_terms()`` returning a ``.keys()`` view
 a concurrent ``extend()`` grows — exactly the PR 6 bug class).
 
 Pattern: a public method (or property) of a configured shared class
-returning ``self._x`` where ``_x`` is a known container attribute, or
-returning any ``self.*.keys()/.values()/.items()`` mapping view.  The
-fix is a ``tuple(...)``/``frozenset(...)`` snapshot at the boundary.
+returning ``self._x`` where ``_x`` is a known container attribute,
+returning any ``self.*.keys()/.values()/.items()`` mapping view, or
+returning ``memoryview(self._x)`` — a zero-copy window onto a live
+buffer (the compact encoding's ``array`` postings) that tracks, and
+for writable buffers permits, mutation of internal state.  The fix is
+a ``tuple(...)``/``frozenset(...)``/``bytes(...)`` snapshot at the
+boundary.
 """
 
 from __future__ import annotations
@@ -86,5 +90,19 @@ class LiveContainerEscape(Rule):
                     "escapes a shared class; views track mutation and "
                     "break iterating readers during extend() — snapshot "
                     "with tuple(...) instead"
+                )
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "memoryview"
+            and len(value.args) == 1
+        ):
+            owner = self_attr(value.args[0])
+            if owner is not None and owner.startswith("_"):
+                return (
+                    f"memoryview over self.{owner} escapes a shared "
+                    "class; a view is a live window onto the buffer "
+                    "(writable for array/bytearray) — return "
+                    "bytes(...)/tuple(...) or hand out items instead"
                 )
         return None

@@ -15,7 +15,9 @@ gets a registry mapping names to implementations:
 * :data:`BACKENDS` — execution backends of the engine
   (``serial`` | ``process``);
 * :data:`STRATEGIES` — similar-value search strategies behind the
-  corpus index (``qgram`` | ``signature``; bit-identical results).
+  corpus index (``qgram`` | ``signature``; bit-identical results);
+* :data:`ENCODINGS` — index-state encodings applied at ``freeze()``
+  (``dict`` | ``compact``; bit-identical results).
 
 Registries are open: extensions may :meth:`Registry.register` their own
 heuristics, conditions, or backend names and refer to them from specs
@@ -39,6 +41,7 @@ from ..core import (
     c_se,
     h_or,
 )
+from ..core.encodings import INDEX_ENCODINGS as _INDEX_ENCODINGS
 from ..engine import BACKENDS as _ENGINE_BACKENDS
 from ..strings import SIMILARITY_STRATEGIES as _SIMILARITY_STRATEGIES
 
@@ -130,6 +133,17 @@ for _backend in _ENGINE_BACKENDS:
 STRATEGIES = Registry("similarity strategy")
 for _strategy in sorted(_SIMILARITY_STRATEGIES):
     STRATEGIES.register(_strategy, _SIMILARITY_STRATEGIES[_strategy])
+
+#: Index-state encodings behind the corpus index (mirrors
+#: ``core.encodings.INDEX_ENCODINGS``): ``dict`` is the original
+#: representation (the parity oracle), ``compact`` re-encodes frozen
+#: state as interned string tables + flat sorted posting arrays.
+#: Results are bit-identical across encodings — pinned by the
+#: differential fuzz harness — so the choice trades memory and warm
+#: load time, never output.
+ENCODINGS = Registry("index encoding")
+for _encoding in sorted(_INDEX_ENCODINGS):
+    ENCODINGS.register(_encoding, _INDEX_ENCODINGS[_encoding])
 
 
 def heuristic_from_spec(spec: str) -> Heuristic:

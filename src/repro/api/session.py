@@ -179,6 +179,7 @@ class DetectionSession:
                 mapping,
                 self.config.theta_tuple,
                 strategy=self.config.similarity_strategy,
+                encoding=self.config.index_encoding,
             )
         )
         self._similarity = DogmatixSimilarity(
@@ -327,6 +328,7 @@ class DetectionSession:
                 possible_threshold=self.config.possible_threshold,
                 semantics=self.config.similar_semantics,
                 strategy=self._index.strategy,
+                encoding=self._index.encoding,
             ),
             shard_factory=shard_factory,
         )
@@ -406,6 +408,7 @@ class DetectionSession:
             kept_ids=kept_ids,
             filter_theta=theta if worker_filter else None,
             strategy=self._index.strategy,
+            encoding=self._index.encoding,
         )
         return pair_source, object_filter, shard_factory
 
@@ -617,6 +620,7 @@ class DetectionSession:
                     self.mapping,
                     q=self._index.q,
                     strategy=self._index.strategy,
+                    encoding=self._index.encoding,
                 )
             )
         finally:

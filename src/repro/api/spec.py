@@ -26,6 +26,7 @@ from ..framework import TypeMapping, mapping_from_xml
 from ..xmlkit import parse_file, parse_schema_file
 from .registries import (
     BACKENDS,
+    ENCODINGS,
     SEMANTICS,
     STRATEGIES,
     condition_from_spec,
@@ -89,6 +90,12 @@ class RunSpec:
     #: are bit-identical either way, so the knob — like the execution
     #: policy — stays out of the index store's content key.
     similarity_strategy: Optional[str] = None
+    #: Index-state encoding ("dict" | "compact"); ``None`` defers to
+    #: the config default (which honors the ``REPRO_INDEX_ENCODING``
+    #: environment override).  Bit-identical results either way, so —
+    #: like the strategy — it stays out of the index store's content
+    #: key and is applied from the *live* spec at load time.
+    index_encoding: Optional[str] = None
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     backend: Optional[str] = None
@@ -109,6 +116,8 @@ class RunSpec:
         SEMANTICS.get(self.similar_semantics)
         if self.similarity_strategy is not None:
             STRATEGIES.get(self.similarity_strategy)
+        if self.index_encoding is not None:
+            ENCODINGS.get(self.index_encoding)
         if self.backend is not None:
             BACKENDS.get(self.backend)
         if self.shard_by not in SHARD_MODES:
@@ -174,6 +183,10 @@ class RunSpec:
         if self.similarity_strategy is not None:
             overrides["similarity_strategy"] = STRATEGIES.canonical_name(
                 self.similarity_strategy
+            )
+        if self.index_encoding is not None:
+            overrides["index_encoding"] = ENCODINGS.canonical_name(
+                self.index_encoding
             )
         return DogmatixConfig(
             heuristic=heuristic_from_spec(self.heuristic),

@@ -18,6 +18,15 @@ from .conditions import (
 from .candidates_auto import CandidateSuggestion, best_candidate, suggest_candidates
 from .config import DogmatixConfig
 from .dogmatix import DogmatiX, DogmatixClassifierFactory, DogmatixShardFactory, Source
+from .encodings import (
+    INDEX_ENCODINGS,
+    CompactEncoding,
+    CompactTermIndex,
+    DictEncoding,
+    IndexEncoding,
+    default_index_encoding,
+    make_index_encoding,
+)
 from .heuristics import (
     CombinedHeuristic,
     Heuristic,
@@ -40,8 +49,13 @@ __all__ = [
     "CandidateSuggestion",
     "CombinedCondition",
     "CombinedHeuristic",
+    "CompactEncoding",
+    "CompactTermIndex",
     "Condition",
     "CorpusIndex",
+    "DictEncoding",
+    "INDEX_ENCODINGS",
+    "IndexEncoding",
     "DescriptionSelector",
     "DogmatiX",
     "DogmatixClassifierFactory",
@@ -65,7 +79,9 @@ __all__ = [
     "c_sdt",
     "c_se",
     "candidate_schema_element",
+    "default_index_encoding",
     "h_and",
+    "make_index_encoding",
     "h_or",
     "match_tuples",
     "odt_dist",

@@ -14,6 +14,7 @@ from typing import Optional
 from ..engine import ExecutionPolicy
 from ..strings import SIMILARITY_STRATEGIES
 from .conditions import Condition
+from .encodings import INDEX_ENCODINGS, default_index_encoding
 from .heuristics import Heuristic, KClosestDescendants
 from .selection import DescriptionSelector
 
@@ -24,6 +25,8 @@ def _default_similarity_strategy() -> str:
     ``REPRO_SIMILARITY_STRATEGY`` lets the CI matrix run the whole
     test suite under the signature strategy without touching every
     config construction site — results are identical either way.
+    ``REPRO_INDEX_ENCODING`` plays the same role for the index
+    encoding (see :func:`repro.core.encodings.default_index_encoding`).
     """
     return os.environ.get("REPRO_SIMILARITY_STRATEGY", "qgram")
 
@@ -78,6 +81,12 @@ class DogmatixConfig:
     similarity_strategy: str = field(
         default_factory=_default_similarity_strategy
     )
+    #: Index-state encoding applied at freeze(): "dict" (the original
+    #: representation, the parity oracle) or "compact" (interned string
+    #: tables + flat sorted posting arrays; identical results, lower
+    #: memory, snapshot-reusable warm loads).  Env default:
+    #: ``REPRO_INDEX_ENCODING``.
+    index_encoding: str = field(default_factory=default_index_encoding)
     execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
 
     def __post_init__(self) -> None:
@@ -95,6 +104,12 @@ class DogmatixConfig:
                 f"similarity_strategy must be one of "
                 f"{tuple(sorted(SIMILARITY_STRATEGIES))}, "
                 f"got {self.similarity_strategy!r}"
+            )
+        if self.index_encoding not in INDEX_ENCODINGS:
+            raise ValueError(
+                f"index_encoding must be one of "
+                f"{tuple(sorted(INDEX_ENCODINGS))}, "
+                f"got {self.index_encoding!r}"
             )
 
     @property

@@ -57,11 +57,22 @@ class DogmatixClassifierFactory:
     #: strategy-independent; mirrored from the parent's config so both
     #: sides probe the same way).
     strategy: str = "qgram"
+    #: Index encoding of the worker-local index (results are
+    #: encoding-independent; mirrored so worker memory behaves like the
+    #: parent's).
+    encoding: str = "dict"
 
     def __call__(self, ods: Sequence[ObjectDescription]) -> ThresholdClassifier:
         index = CorpusIndex(
-            ods, self.mapping, self.theta_tuple, strategy=self.strategy
+            ods,
+            self.mapping,
+            self.theta_tuple,
+            strategy=self.strategy,
+            encoding=self.encoding,
         )
+        # Worker indexes are complete on construction — freeze applies
+        # the encoding (compaction) and pins them like the parent's.
+        index.freeze()
         similarity = DogmatixSimilarity(index, semantics=self.semantics)
         return ThresholdClassifier(
             similarity,
@@ -109,6 +120,9 @@ class DogmatixShardFactory:
     #: Similar-value strategy of the worker-local index (see
     #: :class:`DogmatixClassifierFactory`).
     strategy: str = "qgram"
+    #: Index encoding of the worker-local index (see
+    #: :class:`DogmatixClassifierFactory`).
+    encoding: str = "dict"
 
     def __post_init__(self) -> None:
         if self.filter_theta is not None and self.kept_ids is not None:
@@ -126,8 +140,15 @@ class DogmatixShardFactory:
         self, ods: Sequence[ObjectDescription]
     ) -> tuple[ThresholdClassifier, ShardedPairSource]:
         index = CorpusIndex(
-            ods, self.mapping, self.theta_tuple, strategy=self.strategy
+            ods,
+            self.mapping,
+            self.theta_tuple,
+            strategy=self.strategy,
+            encoding=self.encoding,
         )
+        # Complete on construction; freeze applies the encoding and
+        # pins the worker index read-only (see DogmatixClassifierFactory).
+        index.freeze()
         similarity = DogmatixSimilarity(index, semantics=self.semantics)
         classifier = ThresholdClassifier(
             similarity,

@@ -1,0 +1,419 @@
+"""Index encodings: how a frozen :class:`CorpusIndex` stores its state.
+
+``INDEX_ENCODINGS`` mirrors the similarity ``STRATEGIES`` registry
+(PR 8): the existing dict/set representation stays verbatim as the
+parity oracle under the name ``"dict"``, and ``"compact"`` re-encodes
+the index **at freeze() time** into interned string tables plus flat
+sorted posting arrays (see :mod:`repro.compact`).  Both answer every
+query bit-identically — the differential harness in
+``tests/test_index_encodings.py`` pins this.
+
+The lifecycle hooks ride the existing freeze/thaw discipline:
+
+* ``freeze()`` -> :meth:`IndexEncoding.on_freeze` — the compact
+  encoding swaps the occurrence dicts for a :class:`CompactTermIndex`
+  and compacts every similar-value index, then drops the dict state;
+* ``thaw()`` -> :meth:`IndexEncoding.on_thaw` — decompacts back to
+  dicts so ``extend()`` delta-merges run against the original writable
+  representation, and the ``finally: freeze()`` recompacts.
+
+Mutating a compacted index without thawing is impossible by
+construction: the dict attributes are ``None`` while compact, so any
+write path that skipped the encoder fails loudly instead of silently
+diverging.
+
+The snapshot helpers at the bottom serialize/reconstruct a compacted
+frozen index for :class:`~repro.ingest.store.IndexStore` payloads
+(format version 2): a warm load rebuilds the index by slicing buffers
+instead of re-running tuple scans and gram counting.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Type
+
+from array import array
+
+from ..compact import (
+    BYTEORDER,
+    PostingLists,
+    StringTable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .index import CorpusIndex
+
+#: Environment variable consulted for the default index encoding.
+ENCODING_ENV_VAR = "REPRO_INDEX_ENCODING"
+
+_VALUE_MASK = (1 << 32) - 1
+
+
+class CompactTermIndex:
+    """Flat sorted-array occurrence state of a frozen ``CorpusIndex``.
+
+    Terms ``(comparison key, value)`` are packed into one ``array('Q')``
+    of ``key_code << 32 | value_code`` words, sorted, so a term lookup
+    is two string-table bisects plus one array bisect.  ``postings``
+    aligns with ``terms`` and holds each term's sorted object ids;
+    ``key_postings`` aligns with the key table and replaces
+    ``_objects_by_key``.  Set algebra over occurrence sets becomes
+    sorted merges over array slices.
+    """
+
+    __slots__ = ("keys", "values", "terms", "postings", "key_postings")
+
+    def __init__(
+        self,
+        keys: StringTable,
+        values: StringTable,
+        terms: array,
+        postings: PostingLists,
+        key_postings: PostingLists,
+    ) -> None:
+        if len(terms) != len(postings):
+            raise ValueError(
+                f"{len(terms)} packed terms but {len(postings)} posting rows"
+            )
+        if len(key_postings) != len(keys):
+            raise ValueError("key postings must hold one row per key")
+        for left, right in zip(terms, memoryview(terms)[1:]):
+            if left >= right:
+                raise ValueError("packed terms must be strictly sorted")
+        self.keys = keys
+        self.values = values
+        self.terms = terms
+        self.postings = postings
+        self.key_postings = key_postings
+
+    @classmethod
+    def build(cls, occurrences, objects_by_key) -> "CompactTermIndex":
+        """Compact the dict-encoded occurrence state.
+
+        ``occurrences`` maps ``(key, value) -> set[int]``;
+        ``objects_by_key`` maps ``key -> set[int]``.  Both are consumed
+        read-only.
+        """
+        keys = StringTable.build(
+            set(objects_by_key) | {key for key, _ in occurrences}
+        )
+        values = StringTable.build(value for _, value in occurrences)
+        coded = sorted(
+            (
+                ((keys.code_of(key) << 32) | values.code_of(value), members)
+                for (key, value), members in occurrences.items()
+            ),
+            key=lambda item: item[0],
+        )
+        terms = array("Q", [packed for packed, _ in coded])
+        # Signed rows: foreign-probe sentinels give match() corpora
+        # negative object ids, which the dict encoding's sets carry
+        # transparently — the arrays must too.
+        postings = PostingLists.build(
+            (sorted(members) for _, members in coded), typecode="i"
+        )
+        key_postings = PostingLists.build(
+            (
+                sorted(objects_by_key.get(keys[code], ()))
+                for code in range(len(keys))
+            ),
+            typecode="i",
+        )
+        return cls(keys, values, terms, postings, key_postings)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def _slot_of(self, packed: int) -> int:
+        terms = self.terms
+        slot = bisect_left(terms, packed)
+        if slot < len(terms) and terms[slot] == packed:
+            return slot
+        return -1
+
+    def term_slot(self, key: str, value: str) -> int:
+        """The packed term's row index, or ``-1`` when absent."""
+        key_code = self.keys.code_of(key)
+        if key_code < 0:
+            return -1
+        value_code = self.values.code_of(value)
+        if value_code < 0:
+            return -1
+        return self._slot_of((key_code << 32) | value_code)
+
+    def occurrence_row(self, key: str, value: str) -> tuple[int, ...]:
+        """The term's sorted object ids (snapshot; empty when absent)."""
+        slot = self.term_slot(key, value)
+        if slot < 0:
+            return ()
+        return self.postings.row(slot)
+
+    def row_length(self, slot: int) -> int:
+        return self.postings.row_length(slot)
+
+    def union_size(self, slot_i: int, slot_j: int) -> int:
+        """``|postings(i) ∪ postings(j)|`` by sorted two-pointer merge."""
+        return self.postings.union_size(slot_i, slot_j)
+
+    def union_rows(self, key: str, values: Iterable[str]) -> set[int]:
+        """Union of several terms' posting rows under one key — the
+        k-way merge behind ``objects_with_similar``."""
+        found: set[int] = set()
+        key_code = self.keys.code_of(key)
+        if key_code < 0:
+            return found
+        base = key_code << 32
+        for value in values:
+            value_code = self.values.code_of(value)
+            if value_code < 0:
+                continue
+            slot = self._slot_of(base | value_code)
+            if slot >= 0:
+                self.postings.update_set(slot, found)
+        return found
+
+    def key_row(self, key: str) -> tuple[int, ...]:
+        """All object ids under a comparison key (snapshot)."""
+        code = self.keys.code_of(key)
+        if code < 0:
+            return ()
+        return self.key_postings.row(code)
+
+    def block_terms(self) -> tuple[tuple[str, str], ...]:
+        """Every indexed term, in packed-code (sorted) order.
+
+        The dict encoding yields insertion order here; term order is
+        non-contractual (shard ownership hashes terms and the pipeline
+        sorts results), which the parity harness exercises.
+        """
+        keys = self.keys
+        values = self.values
+        return tuple(
+            (keys[packed >> 32], values[packed & _VALUE_MASK])
+            for packed in self.terms
+        )
+
+    def decompact(self):
+        """Rebuild ``(occurrences, objects_by_key)`` dict state."""
+        occurrences = defaultdict(set)
+        keys = self.keys
+        values = self.values
+        for slot, packed in enumerate(self.terms):
+            occurrences[(keys[packed >> 32], values[packed & _VALUE_MASK])] = set(
+                self.postings.row(slot)
+            )
+        objects_by_key = defaultdict(set)
+        for code in range(len(keys)):
+            row = self.key_postings.row(code)
+            if row:
+                objects_by_key[keys[code]] = set(row)
+        return occurrences, objects_by_key
+
+    def to_payload(self) -> dict:
+        from ..compact import encode_array
+
+        return {
+            "keys": list(self.keys.strings()),
+            "values": list(self.values.strings()),
+            "terms": encode_array(self.terms),
+            "postings": self.postings.to_payload(),
+            "key_postings": self.key_postings.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "CompactTermIndex":
+        from ..compact import decode_array
+
+        if not isinstance(payload, dict):
+            raise ValueError("malformed term-index payload")
+        keys = payload.get("keys")
+        values = payload.get("values")
+        terms = decode_array(payload.get("terms"))
+        if (
+            not isinstance(keys, list)
+            or not isinstance(values, list)
+            or terms is None
+        ):
+            raise ValueError("malformed term-index payload")
+        return cls(
+            StringTable([str(key) for key in keys]),
+            StringTable([str(value) for value in values]),
+            terms,
+            PostingLists.from_payload(payload.get("postings")),
+            PostingLists.from_payload(payload.get("key_postings")),
+        )
+
+
+class IndexEncoding:
+    """One representation of the index's standing state.
+
+    Hooks are invoked by :meth:`CorpusIndex.freeze` /
+    :meth:`CorpusIndex.thaw` under the owning session's writer
+    discipline — they must not be called on an index that concurrent
+    readers are probing.
+    """
+
+    name = ""
+
+    def on_freeze(self, index: "CorpusIndex") -> None:
+        """Re-encode for the read-only phase (idempotent)."""
+
+    def on_thaw(self, index: "CorpusIndex") -> None:
+        """Restore the writable dict representation (idempotent)."""
+
+
+class DictEncoding(IndexEncoding):
+    """The original dict/set-of-ints state — the parity oracle.
+
+    Freeze and thaw only flip the ``_frozen`` pin; the representation
+    never changes.
+    """
+
+    name = "dict"
+
+
+class CompactEncoding(IndexEncoding):
+    """Interned string tables + flat sorted posting arrays at freeze.
+
+    Bit-identical to :class:`DictEncoding` on every query; roughly
+    halves (or better) the index's deep memory footprint and makes the
+    frozen state snapshot-serializable as raw bytes (see
+    ``tests/test_memory_encoding.py`` and ``benchmarks/
+    bench_encoding.py`` for the pinned numbers).
+    """
+
+    name = "compact"
+
+    def on_freeze(self, index: "CorpusIndex") -> None:
+        if index._compact is not None:
+            return
+        index._compact = CompactTermIndex.build(
+            index._occurrences, index._objects_by_key
+        )
+        index._occurrences = None
+        index._objects_by_key = None
+        for value_index in index._value_indexes.values():
+            value_index.compact()
+
+    def on_thaw(self, index: "CorpusIndex") -> None:
+        if index._compact is None:
+            return
+        occurrences, objects_by_key = index._compact.decompact()
+        index._occurrences = occurrences
+        index._objects_by_key = objects_by_key
+        index._compact = None
+        for value_index in index._value_indexes.values():
+            value_index.decompact()
+
+
+#: Registered index encodings, keyed by canonical name.
+INDEX_ENCODINGS: Dict[str, Type[IndexEncoding]] = {
+    DictEncoding.name: DictEncoding,
+    CompactEncoding.name: CompactEncoding,
+}
+
+
+def make_index_encoding(name: str) -> IndexEncoding:
+    """Instantiate a registered encoding, or raise ``LookupError``."""
+    try:
+        encoding_cls = INDEX_ENCODINGS[name]
+    except KeyError:
+        known = ", ".join(sorted(INDEX_ENCODINGS))
+        raise LookupError(
+            f"unknown index encoding {name!r}; registered encodings: {known}"
+        ) from None
+    return encoding_cls()
+
+
+def default_index_encoding() -> str:
+    """The process-wide default (``REPRO_INDEX_ENCODING`` or dict)."""
+    return os.environ.get(ENCODING_ENV_VAR, DictEncoding.name)
+
+
+# ----------------------------------------------------------------------
+# Snapshot (IndexStore) integration
+# ----------------------------------------------------------------------
+def index_snapshot_payload(index) -> Optional[dict]:
+    """The snapshot section for a compacted frozen index.
+
+    ``None`` when the index isn't frozen under the compact encoding —
+    dict-encoded sessions keep the format-1 shape (minus the version
+    bump) and warm loads rebuild from ODs as before.
+    """
+    from .index import CorpusIndex
+
+    if not isinstance(index, CorpusIndex):
+        return None
+    if not index.frozen or index._compact is None:
+        return None
+    value_indexes = []
+    for key in sorted(index._value_indexes):
+        payload = index._value_indexes[key].compact_payload()
+        if payload is None:
+            return None
+        value_indexes.append({"key": key, "index": payload})
+    return {
+        "encoding": index.encoding,
+        "strategy": index.strategy,
+        "q": index.q,
+        "byteorder": BYTEORDER,
+        "total_objects": index.total_objects,
+        "theta_tuple": index.theta_tuple,
+        "terms": index._compact.to_payload(),
+        "value_indexes": value_indexes,
+    }
+
+
+def index_from_snapshot_payload(payload, mapping, config) -> Optional["CorpusIndex"]:
+    """Reconstruct a frozen compact index from its snapshot section.
+
+    Returns ``None`` — a cache miss for the index portion only — when
+    the payload is absent, malformed, from the other endianness, or was
+    written under a different strategy/encoding/q than the live config
+    would build; the caller then rebuilds from ODs exactly as before.
+    """
+    from ..strings import SIMILARITY_STRATEGIES
+    from .index import CorpusIndex, IndexPartial
+
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("byteorder") != BYTEORDER:
+        return None
+    if payload.get("encoding") != getattr(config, "index_encoding", None):
+        return None
+    if payload.get("strategy") != getattr(config, "similarity_strategy", None):
+        return None
+    try:
+        if int(payload["q"]) != IndexPartial().q:
+            return None
+        if payload["theta_tuple"] != config.theta_tuple:
+            return None
+        index = CorpusIndex(
+            (),
+            mapping,
+            config.theta_tuple,
+            q=int(payload["q"]),
+            strategy=str(payload["strategy"]),
+            encoding=str(payload["encoding"]),
+        )
+        index.total_objects = int(payload["total_objects"])
+        index._compact = CompactTermIndex.from_payload(payload["terms"])
+        index._occurrences = None
+        index._objects_by_key = None
+        strategy_cls = SIMILARITY_STRATEGIES[str(payload["strategy"])]
+        value_indexes = {}
+        for entry in payload["value_indexes"]:
+            if not isinstance(entry, dict):
+                return None
+            value_indexes[str(entry["key"])] = strategy_cls.from_compact_payload(
+                entry["index"]
+            )
+        index._value_indexes = value_indexes
+        index.loaded_from_snapshot = True
+        index.freeze()
+        return index
+    except (KeyError, TypeError, ValueError, OverflowError):
+        return None

@@ -25,8 +25,10 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..compact import set_union_size
 from ..framework import ObjectDescription, TypeMapping
 from ..strings import QGramIndex, SignatureIndex, make_value_index
+from .encodings import CompactTermIndex, make_index_encoding
 
 #: Either similar-value index class; identical probe behavior
 #: (see :data:`repro.strings.SIMILARITY_STRATEGIES`).
@@ -62,6 +64,13 @@ class IndexPartial:
     #: :data:`repro.strings.SIMILARITY_STRATEGIES`); partials of
     #: different strategies never merge.
     strategy: str = "qgram"
+    #: Index encoding the destination index should use (see
+    #: :data:`repro.core.encodings.INDEX_ENCODINGS`).  Partials
+    #: themselves always carry dict state — compaction happens at
+    #: ``freeze()`` on the merged index — but the tag must survive the
+    #: worker handoff so ``from_partial`` builds the right index, and
+    #: mismatched partials never merge.
+    encoding: str = "dict"
 
     @classmethod
     def from_ods(
@@ -70,9 +79,12 @@ class IndexPartial:
         mapping: TypeMapping,
         q: int = 2,
         strategy: str = "qgram",
+        encoding: str = "dict",
     ) -> "IndexPartial":
         """Index one OD partition (the loop of a serial index build)."""
-        partial = cls(total_objects=len(ods), q=q, strategy=strategy)
+        partial = cls(
+            total_objects=len(ods), q=q, strategy=strategy, encoding=encoding
+        )
         occurrences = partial.occurrences
         objects_by_key = partial.objects_by_key
         value_indexes = partial.value_indexes
@@ -104,6 +116,11 @@ class IndexPartial:
             raise ValueError(
                 f"cannot merge a {other.strategy!r} partial into a "
                 f"{self.strategy!r} partial"
+            )
+        if other.encoding != self.encoding:
+            raise ValueError(
+                f"cannot merge a {other.encoding!r} partial into a "
+                f"{self.encoding!r} partial"
             )
         self.total_objects += other.total_objects
         _fold_term_state(
@@ -157,6 +174,7 @@ class CorpusIndex:
         theta_tuple: float,
         q: int = 2,
         strategy: str = "qgram",
+        encoding: str = "dict",
     ) -> None:
         if not 0 <= theta_tuple <= 1:
             raise ValueError(f"theta_tuple must be in [0, 1], got {theta_tuple}")
@@ -164,21 +182,36 @@ class CorpusIndex:
         self.mapping = mapping
         self.theta_tuple = theta_tuple
         self.total_objects = 0
-        #: (key, value) -> object ids containing that term
-        self._occurrences: dict[tuple[str, str], set[int]] = defaultdict(set)
+        #: (key, value) -> object ids containing that term; ``None``
+        #: while the compact encoding holds the frozen state
+        self._occurrences: dict[tuple[str, str], set[int]] | None = defaultdict(set)
         #: key -> similar-value index over the distinct values of that kind
         self._value_indexes: dict[str, ValueIndex] = {}
         #: key -> set of object ids having any tuple of that kind
-        self._objects_by_key: dict[str, set[int]] = defaultdict(set)
+        self._objects_by_key: dict[str, set[int]] | None = defaultdict(set)
         self.q = q
         #: Similar-value search strategy backing ``similar_values``
         #: (results are strategy-independent; see the STRATEGIES
         #: registry and the differential fuzz harness).
         self.strategy = strategy
+        #: Index-state representation applied at freeze()/thaw() (see
+        #: :data:`repro.core.encodings.INDEX_ENCODINGS`); validated
+        #: eagerly like the strategy.
+        self._encoder = make_index_encoding(encoding)
+        self.encoding = self._encoder.name
+        #: Flat array state installed by the compact encoding's
+        #: ``on_freeze``; ``None`` under the dict encoding or while
+        #: thawed.  Readers branch on this, never on ``encoding``.
+        self._compact: CompactTermIndex | None = None
+        #: True when this index was reconstructed from an IndexStore
+        #: snapshot's compact payload instead of an OD scan.
+        self.loaded_from_snapshot = False
         #: (key, value) -> memoized similar value group
         self._similar_cache: dict[tuple[str, str], tuple[str, ...]] = {}
         #: memoized softIDF values (terms repeat across the O(n²) pairs)
         self._pair_idf_cache: dict[tuple[str, str, str, str], float] = {}
+        #: memoized statistics() of a frozen index; see :meth:`statistics`
+        self._statistics_cache: dict[str, int] | None = None
         #: read-only-after-build pin; see :meth:`freeze`
         self._frozen = False
 
@@ -187,7 +220,9 @@ class CorpusIndex:
         # serial/parallel/delta parity holds by construction.
         if ods:
             self.merge_partial(
-                IndexPartial.from_ods(ods, mapping, q=q, strategy=strategy)
+                IndexPartial.from_ods(
+                    ods, mapping, q=q, strategy=strategy, encoding=encoding
+                )
             )
 
     # ------------------------------------------------------------------
@@ -209,7 +244,12 @@ class CorpusIndex:
         ``partial``.
         """
         index = cls(
-            (), mapping, theta_tuple, q=partial.q, strategy=partial.strategy
+            (),
+            mapping,
+            theta_tuple,
+            q=partial.q,
+            strategy=partial.strategy,
+            encoding=partial.encoding,
         )
         index.merge_partial(partial)
         return index
@@ -243,6 +283,11 @@ class CorpusIndex:
                 f"cannot merge a {partial.strategy!r} partial into a "
                 f"{self.strategy!r} index"
             )
+        if partial.encoding != self.encoding:
+            raise ValueError(
+                f"cannot merge a {partial.encoding!r} partial into a "
+                f"{self.encoding!r} index"
+            )
         # repro: allow[RPR004] sanctioned writer: raises above when
         # frozen, and runs single-threaded (construction) or behind the
         # session writer lock (extend) — never concurrently with itself
@@ -252,6 +297,7 @@ class CorpusIndex:
         )
         self._similar_cache.clear()
         self._pair_idf_cache.clear()
+        self._statistics_cache = None
 
     # ------------------------------------------------------------------
     # Read-only pin
@@ -272,7 +318,13 @@ class CorpusIndex:
         soft-IDF) stay writable: their entries are idempotent
         per-key values computed from frozen state, and CPython dict
         assignment is atomic, so concurrent memoization is benign.
+
+        The configured encoding's ``on_freeze`` hook runs first: under
+        the compact encoding this is where the dict state is re-encoded
+        into flat sorted arrays (idempotent — a warm-loaded index that
+        is already compact stays as-is).
         """
+        self._encoder.on_freeze(self)
         self._frozen = True
 
     def thaw(self) -> None:
@@ -281,8 +333,12 @@ class CorpusIndex:
         Only :meth:`~repro.api.session.DetectionSession.extend` should
         call this, from behind its per-session writer lock; it
         re-freezes in a ``finally`` so readers never see a thawed
-        index.
+        index.  The encoding's ``on_thaw`` hook restores the writable
+        dict representation (compact -> dict decompaction), and the
+        memoized statistics are invalidated alongside.
         """
+        self._encoder.on_thaw(self)
+        self._statistics_cache = None
         self._frozen = False
 
     # ------------------------------------------------------------------
@@ -298,11 +354,17 @@ class CorpusIndex:
         Returned as a frozenset snapshot — the live internal sets must
         not leak, or callers could mutate the index.
         """
+        compact = self._compact
+        if compact is not None:
+            return frozenset(compact.occurrence_row(key, value))
         found = self._occurrences.get((key, value))
         return frozenset(found) if found is not None else frozenset()
 
     def objects_with_key(self, key: str) -> frozenset[int]:
         """Ids of objects that specify any data of this kind (snapshot)."""
+        compact = self._compact
+        if compact is not None:
+            return frozenset(compact.key_row(key))
         found = self._objects_by_key.get(key)
         return frozenset(found) if found is not None else frozenset()
 
@@ -310,6 +372,10 @@ class CorpusIndex:
         """Memoized softIDF of a term pair (Definition 8).
 
         log(|Ω| / |O_i ∪ O_j|); unseen terms count as one occurrence.
+        The union cardinality is *counted*, never materialized: a
+        sorted two-pointer merge over posting rows in the compact
+        encoding, a membership-count of the smaller set against the
+        larger for dicts — both exactly ``len(O_i | O_j)``.
         """
         if (key_i, value_i) > (key_j, value_j):  # canonical order
             key_i, value_i, key_j, value_j = key_j, value_j, key_i, value_i
@@ -317,13 +383,30 @@ class CorpusIndex:
         cached = self._pair_idf_cache.get(cache_key)
         if cached is not None:
             return cached
-        occurrences_i = self._occurrences.get((key_i, value_i), frozenset())
-        occurrences_j = self._occurrences.get((key_j, value_j), frozenset())
-        denominator = max(1, len(occurrences_i | occurrences_j))
+        denominator = max(
+            1, self._union_cardinality(key_i, value_i, key_j, value_j)
+        )
         total = max(self.total_objects, denominator)
         value = math.log(total / denominator)
         self._pair_idf_cache[cache_key] = value
         return value
+
+    def _union_cardinality(
+        self, key_i: str, value_i: str, key_j: str, value_j: str
+    ) -> int:
+        """``|O_i ∪ O_j|`` without building the union set."""
+        compact = self._compact
+        if compact is not None:
+            slot_i = compact.term_slot(key_i, value_i)
+            slot_j = compact.term_slot(key_j, value_j)
+            if slot_i < 0:
+                return compact.row_length(slot_j) if slot_j >= 0 else 0
+            if slot_j < 0:
+                return compact.row_length(slot_i)
+            return compact.union_size(slot_i, slot_j)
+        occurrences_i = self._occurrences.get((key_i, value_i))
+        occurrences_j = self._occurrences.get((key_j, value_j))
+        return set_union_size(occurrences_i or (), occurrences_j or ())
 
     # ------------------------------------------------------------------
     # Similar values
@@ -349,10 +432,18 @@ class CorpusIndex:
         self, key: str, value: str, exclude: int | None = None
     ) -> set[int]:
         """Ids of objects holding a tuple of kind ``key`` whose value is
-        similar to ``value``; optionally excluding one object id."""
-        found: set[int] = set()
-        for similar in self.similar_values(key, value):
-            found |= self._occurrences.get((key, similar), set())
+        similar to ``value``; optionally excluding one object id.
+
+        Under the compact encoding the union is a k-way merge over the
+        similar values' posting rows instead of set unions.
+        """
+        compact = self._compact
+        if compact is not None:
+            found = compact.union_rows(key, self.similar_values(key, value))
+        else:
+            found = set()
+            for similar in self.similar_values(key, value):
+                found |= self._occurrences.get((key, similar), set())
         if exclude is not None:
             found.discard(exclude)
         return found
@@ -374,7 +465,16 @@ class CorpusIndex:
         delta-merges new terms would see the set change mid-iteration
         (``RuntimeError`` at best, silently shifted shard ownership at
         worst) — the PR 6 escape class RPR001 exists to catch.
+
+        Term *order* is non-contractual and differs between encodings
+        (dict: insertion order; compact: sorted packed-code order) —
+        shard ownership hashes each term independently and the pipeline
+        sorts result pairs canonically, which the encoding parity
+        harness pins.
         """
+        compact = self._compact
+        if compact is not None:
+            return compact.block_terms()
         return tuple(self._occurrences)
 
     def block_members(self, term: tuple[str, str]) -> set[int]:
@@ -417,12 +517,27 @@ class CorpusIndex:
         return keys
 
     def statistics(self) -> dict[str, int]:
-        """Index size statistics (for benchmarks and logging)."""
-        return {
+        """Index size statistics (for benchmarks and logging).
+
+        Memoized while frozen — benchmarks and serve's catalog hit this
+        repeatedly and the distinct-value sum walks every value index.
+        The memo is invalidated by :meth:`thaw` / :meth:`merge_partial`
+        (the only paths that change the counts) and published as a
+        fully-built dict, with callers handed a copy, so the lock-free
+        read path never observes a partial entry or a shared live dict.
+        """
+        cached = self._statistics_cache
+        if cached is not None:
+            return dict(cached)
+        compact = self._compact
+        stats = {
             "objects": self.total_objects,
-            "terms": len(self._occurrences),
+            "terms": len(compact) if compact is not None else len(self._occurrences),
             "kinds": len(self._value_indexes),
             "distinct_values": sum(
                 len(index) for index in self._value_indexes.values()
             ),
         }
+        if self._frozen:
+            self._statistics_cache = stats
+        return dict(stats)

@@ -100,15 +100,22 @@ def _init_ingest_worker(payload: bytes) -> None:
     start method and turns any pickling problem into the parent-side
     serial fallback rather than a pool-initializer crash loop.
     """
-    sources, mapping, selector, include_empty, q, strategy = pickle.loads(
-        payload
-    )
+    (
+        sources,
+        mapping,
+        selector,
+        include_empty,
+        q,
+        strategy,
+        encoding,
+    ) = pickle.loads(payload)
     _INGEST_STATE["sources"] = sources
     _INGEST_STATE["mapping"] = mapping
     _INGEST_STATE["selector"] = selector
     _INGEST_STATE["include_empty"] = include_empty
     _INGEST_STATE["q"] = q
     _INGEST_STATE["strategy"] = strategy
+    _INGEST_STATE["encoding"] = encoding
     _INGEST_STATE["schemas"] = {}
     _INGEST_STATE["descriptions"] = {}
     _INGEST_STATE["candidates"] = {}
@@ -180,6 +187,7 @@ def _ingest_chunk(
         _INGEST_STATE["mapping"],  # type: ignore[arg-type]
         q=int(_INGEST_STATE["q"]),  # type: ignore[arg-type]
         strategy=str(_INGEST_STATE["strategy"]),  # type: ignore[arg-type]
+        encoding=str(_INGEST_STATE["encoding"]),  # type: ignore[arg-type]
     )
     return [(od.object_id, od.tuples) for od in ods], partial
 
@@ -329,10 +337,11 @@ class ParallelIngestor:
                                 parsed_in_workers, reason="no candidates")
         q = IndexPartial().q
         strategy = config.similarity_strategy
+        encoding = config.index_encoding
         try:  # one dumps; the bytes are what crosses into the pool
             payload = pickle.dumps(
                 (tuple(sources), mapping, config.selector,
-                 config.include_empty, q, strategy),
+                 config.include_empty, q, strategy, encoding),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         except Exception:
@@ -352,7 +361,7 @@ class ParallelIngestor:
             for source_index, xpath, elements, _ in units
         }
         ods: list[ObjectDescription] = []
-        merged = IndexPartial(q=q, strategy=strategy)
+        merged = IndexPartial(q=q, strategy=strategy, encoding=encoding)
         context = multiprocessing.get_context()
         with context.Pool(
             processes=self.workers,
@@ -400,6 +409,7 @@ class ParallelIngestor:
         index = CorpusIndex(
             ods, mapping, config.theta_tuple,
             strategy=config.similarity_strategy,
+            encoding=config.index_encoding,
         )
         self.last_report = IngestReport(
             backend="serial",

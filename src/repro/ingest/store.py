@@ -21,11 +21,19 @@ steps 1-3.  Snapshots are
   snapshot, so a serving process needs only the store, not the
   original files.
 
-The corpus index itself is *not* stored: it is rebuilt from the stored
-ODs on load — a deterministic linear scan that reproduces the fresh
-build bit for bit, which keeps the snapshot format small and the
-parity argument trivial.  Loaded sessions answer ``detect()`` /
-``match()`` identically to a cold build (``tests/test_ingest_store.py``).
+Sessions built under the **compact index encoding** additionally store
+the frozen index itself (format 2): the interned string tables and flat
+posting arrays serialize as raw bytes next to the document/OD record,
+and a warm load reconstructs the frozen index by slicing buffers
+instead of re-running the tuple scan and gram counting.  The index
+payload is only reused when the *live* spec would build the same thing
+(same strategy, encoding, ``q``, and host byte order) — any mismatch
+degrades to the classic rebuild-from-ODs path, which remains the parity
+oracle.  Dict-encoded sessions store no index and always rebuild, a
+deterministic linear scan that reproduces the fresh build bit for bit.
+Loaded sessions answer ``detect()`` / ``match()`` identically to a cold
+build either way (``tests/test_ingest_store.py``,
+``tests/test_index_encodings.py``).
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..core import Source
+from ..core.encodings import index_from_snapshot_payload, index_snapshot_payload
 from ..framework import ObjectDescription
 from ..framework.od import ODTuple
 from ..xmlkit import (
@@ -52,8 +61,9 @@ from ..xmlkit import (
 )
 
 #: Snapshot format version.  Bump on any layout change; loaders treat
-#: other versions as a cache miss and rebuild.
-FORMAT_VERSION = 1
+#: other versions as a cache miss and rebuild.  2: optional ``index``
+#: section carrying a compact-encoded frozen index as raw array bytes.
+FORMAT_VERSION = 2
 
 _SUFFIX = ".json.gz"
 #: Compact catalog record written atomically next to each snapshot so
@@ -184,6 +194,13 @@ class IndexStore:
             "schemas": schema_texts,
             "ods": od_records,
         }
+        # Compact-encoded frozen sessions also snapshot the index
+        # itself (raw array bytes), so a warm load slices buffers
+        # instead of re-scanning tuples; dict sessions store none and
+        # keep the rebuild-from-ODs path.
+        index_payload = index_snapshot_payload(getattr(session, "index", None))
+        if index_payload is not None:
+            payload["index"] = index_payload
         self.root.mkdir(parents=True, exist_ok=True)
         self.sweep_scratch()
         final = self._snapshot_path(digest)
@@ -251,9 +268,12 @@ class IndexStore:
         corruption, not staleness.
 
         The returned session carries the *live* spec's configuration:
-        only the stored ODs, documents, and schemas are reused, and the
-        index is rebuilt deterministically from the ODs, so the session
-        is bit-identical to one built cold from the same spec.
+        only the stored ODs, documents, and schemas are reused.  When
+        the snapshot carries a compact index payload matching the live
+        config (strategy, encoding, q, byte order), the frozen index is
+        reconstructed from the stored arrays; otherwise it is rebuilt
+        deterministically from the ODs.  Either way the session is
+        bit-identical to one built cold from the same spec.
         """
         digest = digest or self.key_for(spec)
         path = self._snapshot_path(digest)
@@ -288,12 +308,18 @@ class IndexStore:
                     element,
                 )
             )
+        mapping = spec.load_mapping()
+        config = spec.to_config()
+        index = index_from_snapshot_payload(
+            payload.get("index"), mapping, config
+        )
         return DetectionSession(
             Corpus(sources),
-            spec.load_mapping(),
+            mapping,
             payload["real_world_type"],
-            spec.to_config(),
+            config,
             ods=ods,
+            index=index,
         )
 
     # ------------------------------------------------------------------

@@ -44,7 +44,9 @@ and threshold — pinned by the differential fuzz harness in
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from typing import Iterable, Optional
 
+from ..compact import CompactValueIndex
 from .bounds import normalized_lower_bound, normalized_upper_bound
 from .levenshtein import within_normalized
 from .qgram import qgrams, strict_budget
@@ -85,10 +87,16 @@ class SignatureIndex:
         self.q = q
         #: Token count from which the positional filter is applied.
         self.second_level_cutoff = second_level_cutoff
+        #: Insertion-ordered distinct values; survives compaction (ids
+        #: and result ordering are defined by this order).
         self._values: list[str] = []
-        self._grams: list[Counter[str]] = []
-        self._ids: dict[str, int] = {}
-        self._by_length: dict[int, list[int]] = defaultdict(list)
+        self._grams: Optional[list[Counter[str]]] = []
+        self._ids: Optional[dict[str, int]] = {}
+        self._by_length: Optional[dict[int, list[int]]] = defaultdict(list)
+        #: Flat array state while compacted (see :meth:`compact`); the
+        #: dict attributes above are ``None`` then, so a write path
+        #: that skipped :meth:`decompact` fails loudly.
+        self._compact: Optional[CompactValueIndex] = None
         #: Lazily built (value count, token frequencies, postings);
         #: ``None`` or a stale count means "rebuild on next probe".
         self._signature_state: (
@@ -101,14 +109,115 @@ class SignatureIndex:
         return len(self._values)
 
     def __contains__(self, value: str) -> bool:
-        return value in self._ids
+        return self._id_of(value) is not None
 
     @property
     def values(self) -> list[str]:
         return list(self._values)
 
+    @property
+    def compacted(self) -> bool:
+        """Whether the index currently holds compact array state."""
+        return self._compact is not None
+
+    def _id_of(self, value: str) -> Optional[int]:
+        """The value's id under either representation, or ``None``."""
+        compact = self._compact
+        if compact is not None:
+            found = compact.find(self._values, value)
+            return found if found >= 0 else None
+        return self._ids.get(value)
+
+    def compact(self) -> None:
+        """Re-encode the gram/lookup state as flat arrays (idempotent).
+
+        Called by the compact index encoding at ``freeze()`` time; must
+        not run concurrently with probes (the caller owns the writer
+        discipline).  The derived signature structure is dropped too —
+        it is rebuilt lazily from the compact gram rows on the next
+        probe, once, and cached as before — so the frozen footprint is
+        the flat arrays plus whatever probes actually need.
+        """
+        if self._compact is not None:
+            return
+        self._compact = CompactValueIndex.build(
+            self._values, self._grams, with_buckets=False
+        )
+        self._grams = None
+        self._ids = None
+        self._by_length = None
+        self._signature_state = None
+
+    def decompact(self) -> None:
+        """Restore the writable dict/Counter state (idempotent).
+
+        Observably identical to the pre-compaction original: value ids,
+        gram multisets, and length-class id order all round-trip, and
+        the signature structure is a deterministic function of those.
+        """
+        state = self._compact
+        if state is None:
+            return
+        self._ids = {value: value_id for value_id, value in enumerate(self._values)}
+        self._grams = [
+            state.grams.counter(value_id) for value_id in range(len(self._values))
+        ]
+        by_length: dict[int, list[int]] = defaultdict(list)
+        for length, ids in state.length_classes():
+            by_length[length] = list(ids)
+        self._by_length = by_length
+        self._compact = None
+
+    def compact_payload(self) -> Optional[dict]:
+        """Snapshot-serializable compact state (``None`` when thawed)."""
+        if self._compact is None:
+            return None
+        return {
+            "strategy": self.strategy,
+            "q": self.q,
+            "second_level_cutoff": self.second_level_cutoff,
+            "values": list(self._values),
+            "state": self._compact.to_payload(),
+        }
+
+    @classmethod
+    def from_compact_payload(cls, payload: object) -> "SignatureIndex":
+        """Rebuild a compacted index from :meth:`compact_payload` output.
+
+        Raises ``ValueError``/``KeyError``/``TypeError`` on malformed
+        payloads — snapshot loaders treat those as cache misses.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("malformed value-index payload")
+        if payload.get("strategy") != cls.strategy:
+            raise ValueError(
+                f"payload strategy {payload.get('strategy')!r} does not "
+                f"match {cls.strategy!r}"
+            )
+        index = cls(
+            q=int(payload["q"]),
+            second_level_cutoff=int(payload["second_level_cutoff"]),
+        )
+        values = payload["values"]
+        if not isinstance(values, list):
+            raise ValueError("malformed value-index payload")
+        index._values = [str(value) for value in values]
+        state = CompactValueIndex.from_payload(payload["state"])
+        if len(state.order) != len(index._values):
+            raise ValueError("value-index payload does not cover its values")
+        index._compact = state
+        index._grams = None
+        index._ids = None
+        index._by_length = None
+        return index
+
     def add(self, value: str) -> int:
         """Register a value (idempotent); returns its id."""
+        if self._compact is not None:
+            raise RuntimeError(
+                "cannot add to a compacted SignatureIndex: decompact() "
+                "first (CorpusIndex.thaw() does this for delta merges)"
+            )
         existing = self._ids.get(value)
         if existing is not None:
             return existing
@@ -141,6 +250,11 @@ class SignatureIndex:
                 f"cannot merge a {other.strategy!r} index into a "
                 f"{self.strategy!r} index"
             )
+        if self._compact is not None or other._compact is not None:
+            raise RuntimeError(
+                "cannot merge compacted SignatureIndexes: decompact() "
+                "first (CorpusIndex.thaw() does this for delta merges)"
+            )
         for other_id, value in enumerate(other._values):
             if value in self._ids:
                 continue
@@ -162,7 +276,7 @@ class SignatureIndex:
         # of a frozen index may lose an increment; nothing decides on it
         self.probes += 1
         matched: set[int] = set()
-        query_id = self._ids.get(query)
+        query_id = self._id_of(query)
         if query_id is not None:
             matched.add(query_id)
         if threshold > 0:
@@ -203,9 +317,13 @@ class SignatureIndex:
             key=lambda token: (frequency.get(token, 0), token[0], token[1])
         )
         tokens_q = len(query_tokens)
+        compact = self._compact
+        query_pairs = (
+            compact.grams.query_pairs(query_grams) if compact is not None else None
+        )
 
         candidates: set[int] = set()
-        for length, ids in self._by_length.items():
+        for length, ids in self._length_classes():
             longest = max(length_q, length)
             budget = strict_budget(threshold, longest)
             if budget < 0 or abs(length_q - length) > budget:
@@ -238,15 +356,27 @@ class SignatureIndex:
             for value_id, cap in overlap_cap.items():
                 if positional and cap < required:
                     continue  # second level: overlap provably < T
-                grams_v = self._grams[value_id]
-                overlap = sum(
-                    min(count, grams_v[gram])
-                    for gram, count in query_grams.items()
-                )
+                if query_pairs is not None:
+                    # Compact form: two-pointer merge against the
+                    # pre-coded query — same sum(min(...)) exactly.
+                    overlap = compact.grams.overlap(value_id, query_pairs)
+                else:
+                    grams_v = self._grams[value_id]
+                    overlap = sum(
+                        min(count, grams_v[gram])
+                        for gram, count in query_grams.items()
+                    )
                 if overlap < required:
                     continue
                 candidates.add(value_id)
         return candidates
+
+    def _length_classes(self) -> Iterable[tuple[int, Iterable[int]]]:
+        """``(length, value ids)`` classes under either representation."""
+        compact = self._compact
+        if compact is not None:
+            return compact.length_classes()
+        return self._by_length.items()
 
     def _state(
         self,
@@ -261,8 +391,20 @@ class SignatureIndex:
         state = self._signature_state
         if state is not None and state[0] == len(self._values):
             return state
+        compact = self._compact
+        if compact is not None:
+            # Compacted: decompact the gram rows once for the rebuild;
+            # the result is cached, so probes pay this at most once per
+            # freeze.  The counters are value-identical to the dict
+            # form's, so the structure (and every search) matches.
+            gram_counters = [
+                compact.grams.counter(value_id)
+                for value_id in range(len(self._values))
+            ]
+        else:
+            gram_counters = self._grams
         frequency: Counter[tuple[str, int]] = Counter()
-        for grams in self._grams:
+        for grams in gram_counters:
             for gram, count in grams.items():
                 for occurrence in range(count):
                     frequency[(gram, occurrence)] += 1
@@ -270,7 +412,7 @@ class SignatureIndex:
         for value_id, value in enumerate(self._values):
             tokens = [
                 (gram, occurrence)
-                for gram, count in self._grams[value_id].items()
+                for gram, count in gram_counters[value_id].items()
                 for occurrence in range(count)
             ]
             tokens.sort(

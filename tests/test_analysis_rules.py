@@ -135,6 +135,57 @@ class TestLiveContainerEscape:
         )
         assert findings == []
 
+    def test_fires_on_live_array_attribute_return(self):
+        # array joined CONTAINER_CALLS with the compact encoding: a
+        # flat posting buffer is as mutable as the dict it replaced.
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def __init__(self, data):
+                    self._data = array("I", data)
+
+                def postings(self):
+                    return self._data
+            """,
+        )
+        assert codes(findings) == ["RPR001"]
+        assert "self._data" in findings[0].message
+
+    def test_fires_on_memoryview_escape(self):
+        # A memoryview is a live (and for arrays, writable) window
+        # onto the buffer — same escape, zero-copy flavor.
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def window(self):
+                    return memoryview(self._data)
+            """,
+        )
+        assert codes(findings) == ["RPR001"]
+        assert "memoryview" in findings[0].message
+
+    def test_quiet_on_buffer_snapshots(self):
+        findings = run(
+            LiveContainerEscape(),
+            """
+            class Widget:
+                def __init__(self, data):
+                    self._data = array("I", data)
+
+                def postings(self):
+                    return tuple(self._data)
+
+                def raw(self):
+                    return bytes(self._data)
+
+                def local_view(self):
+                    return memoryview(bytes(self._data))
+            """,
+        )
+        assert findings == []
+
     def test_fires_on_dataclass_field_container(self):
         findings = run(
             LiveContainerEscape(),
@@ -254,6 +305,52 @@ class TestFrozenIndexDiscipline:
             """,
         )
         assert findings == []
+
+
+    def test_fires_on_post_init_buffer_mutation(self):
+        # Compact-structure shape: immutable by construction, so any
+        # post-__init__ append onto the posting buffer is a finding.
+        findings = run(
+            FrozenIndexDiscipline(),
+            """
+            class Widget:
+                def __init__(self, data):
+                    self._data = array("I", data)
+
+                def grow(self, item):
+                    self._data.append(item)
+            """,
+        )
+        assert codes(findings) == ["RPR003"]
+        assert findings[0].symbol == "Widget.grow"
+
+
+# ----------------------------------------------------------------------
+# Default binding: the compact encoding classes carry the contracts
+# ----------------------------------------------------------------------
+class TestCompactEncodingBinding:
+    """The default LintConfig binds the compact-encoding structures to
+    the shared/frozen contracts, so `lint src/` (pinned clean by
+    test_lint_clean.py) actually checks them."""
+
+    def test_compact_classes_are_shared_and_frozen(self):
+        from repro.analysis.config import DEFAULT_CONFIG
+
+        compact = {
+            "StringTable",
+            "PostingLists",
+            "CompactGramStore",
+            "CompactValueIndex",
+            "CompactTermIndex",
+        }
+        assert compact <= DEFAULT_CONFIG.shared_classes
+        assert compact <= DEFAULT_CONFIG.frozen_classes
+
+    def test_statistics_memo_is_exempt_and_compact_is_parity(self):
+        from repro.analysis.config import DEFAULT_CONFIG
+
+        assert "_statistics_cache" in DEFAULT_CONFIG.frozen_memo_attrs
+        assert "repro.compact" in DEFAULT_CONFIG.parity_modules
 
 
 # ----------------------------------------------------------------------
